@@ -1,0 +1,77 @@
+"""Shared plumbing for the per-table/figure benchmarks.
+
+Every benchmark prints the paper-style table/series it regenerates and
+also writes it to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture.  Scale is controlled by ``REDS_BENCH_SCALE``
+(``quick`` default, ``full`` = paper-sized grid); see
+:mod:`repro.experiments.design`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.methods import parse_method
+from repro.experiments.design import BenchScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Metric layout of Table 3 (PRIM-based methods).
+TABLE3_METRICS = (
+    ("pr_auc", "PR AUC %", 100.0),
+    ("precision", "precision %", 100.0),
+    ("consistency", "consistency %", 100.0),
+    ("n_restricted", "# restricted", 1.0),
+    ("n_irrelevant", "# irrel", 1.0),
+)
+
+#: Metric layout of Table 4 (BI-based methods).
+TABLE4_METRICS = (
+    ("wracc", "WRAcc %", 100.0),
+    ("consistency", "consistency %", 100.0),
+    ("n_restricted", "# restricted", 1.0),
+    ("n_irrelevant", "# irrel", 1.0),
+)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    print(f"\n{text}\n", file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pick_l(scale: BenchScale, method: str) -> int | None:
+    """The L override for REDS methods at this scale (None otherwise)."""
+    spec = parse_method(method)
+    if not spec.is_reds:
+        return None
+    return scale.n_new_prim if spec.family == "prim" else scale.n_new_bi
+
+
+def run_method_grid(
+    scale: BenchScale,
+    methods: tuple[str, ...],
+    *,
+    functions: tuple[str, ...] | None = None,
+    n: int | None = None,
+    variant: str = "continuous",
+):
+    """Run the (function, method, rep) grid with per-method L choices."""
+    from repro.experiments.harness import run_batch
+
+    records = []
+    for method in methods:
+        records.extend(run_batch(
+            functions or scale.functions,
+            (method,),
+            n or scale.n_train,
+            scale.n_reps,
+            variant=variant,
+            n_new=pick_l(scale, method),
+            tune_metamodel=scale.tune_metamodel,
+            test_size=scale.test_size,
+            bumping_repeats=scale.bumping_repeats,
+        ))
+    return records

@@ -1,0 +1,143 @@
+"""Ablations of REDS design choices.
+
+Three studies backing decisions DESIGN.md calls out:
+
+* **Validation grounding** — REDS runs PRIM on relabelled data but
+  validates boxes on the original simulations.  Ablating this (using
+  D_new as its own validation set) lets soft-label runs peel into tiny
+  metamodel artefacts: consistency collapses while PR AUC barely moves.
+* **Metamodel quality** — the paper's premise is that REDS quality
+  tracks metamodel quality.  We measure both for forest/boosting/SVM.
+* **Pasting** — the paper reports that PRIM's pasting phase "had a
+  negligible effect"; we verify that P with and without pasting land
+  within noise of each other.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.core.reds import reds
+from repro.experiments.design import scale_from_env
+from repro.experiments.harness import get_test_data, make_train_data
+from repro.data import get_model
+from repro.metamodels.tuning import make_metamodel
+from repro.metrics import pairwise_consistency, trajectory_of
+from repro.experiments.report import format_table
+from repro.subgroup import prim_peel
+
+
+def test_ablation_validation_grounding(benchmark):
+    """Soft-label REDS with vs without original-data validation."""
+    scale = scale_from_env()
+    model = get_model("ellipse")
+    x_test, y_test = get_test_data("ellipse", size=scale.test_size)
+
+    def run() -> dict:
+        rows = {"grounded": {}, "ungrounded": {}}
+        boxes = {"grounded": [], "ungrounded": []}
+        aucs = {"grounded": [], "ungrounded": []}
+        for rep in range(max(scale.n_reps, 4)):
+            x, y = make_train_data(model, scale.n_train, seed=300 + rep)
+            for mode in ("grounded", "ungrounded"):
+                validation = (x, y.astype(float)) if mode == "grounded" else (None, None)
+                def sd(data_x, data_y, val=validation):
+                    return prim_peel(data_x, data_y,
+                                     x_val=val[0], y_val=val[1])
+                result = reds(x, y, sd, metamodel="forest",
+                              n_new=scale.n_new_prim, soft_labels=True,
+                              tune=False, rng=np.random.default_rng(rep))
+                boxes[mode].append(result.sd_output.chosen_box)
+                aucs[mode].append(
+                    trajectory_of(result.sd_output.boxes, x_test, y_test)[1])
+        for mode in rows:
+            rows[mode] = {
+                "pr_auc": float(np.mean(aucs[mode])),
+                "consistency": pairwise_consistency(boxes[mode]),
+                "volume": float(np.mean([b.volume() for b in boxes[mode]])),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_validation", format_table(
+        f"Ablation: REDS validation grounding (RPfp on ellipse, "
+        f"N={scale.n_train}) [{scale.name} scale]",
+        rows,
+        (("pr_auc", "PR AUC %", 100.0),
+         ("consistency", "consistency %", 100.0),
+         ("volume", "box volume", 1.0)),
+        method_order=("grounded", "ungrounded"),
+    ))
+    # Grounding buys (much) more consistent boxes at comparable AUC.
+    assert rows["grounded"]["consistency"] > rows["ungrounded"]["consistency"]
+
+
+def test_ablation_metamodel_quality(benchmark):
+    """Scenario quality tracks metamodel accuracy (the REDS premise)."""
+    scale = scale_from_env()
+    model = get_model("morris")
+    x_test, y_test = get_test_data("morris", size=scale.test_size)
+
+    def run() -> dict:
+        rows = {}
+        for kind in ("forest", "boosting", "svm"):
+            accuracies, aucs = [], []
+            for rep in range(max(scale.n_reps, 3)):
+                x, y = make_train_data(model, 400, seed=400 + rep)
+                fitted = make_metamodel(kind).fit(x, y)
+                accuracies.append(
+                    float((fitted.predict(x_test) == y_test).mean()))
+                def sd(data_x, data_y, orig=(x, y.astype(float))):
+                    return prim_peel(data_x, data_y,
+                                     x_val=orig[0], y_val=orig[1])
+                result = reds(x, y, sd, metamodel=make_metamodel(kind),
+                              n_new=scale.n_new_prim,
+                              rng=np.random.default_rng(rep))
+                aucs.append(
+                    trajectory_of(result.sd_output.boxes, x_test, y_test)[1])
+            rows[kind] = {"accuracy": float(np.mean(accuracies)),
+                          "pr_auc": float(np.mean(aucs))}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_metamodel", format_table(
+        f"Ablation: metamodel accuracy vs REDS quality (morris, N=400) "
+        f"[{scale.name} scale]",
+        rows,
+        (("accuracy", "AM accuracy %", 100.0), ("pr_auc", "PR AUC %", 100.0)),
+        method_order=("forest", "boosting", "svm"),
+    ))
+    # The most and least accurate metamodels bracket the PR AUC ranking.
+    ordered = sorted(rows, key=lambda k: rows[k]["accuracy"])
+    assert rows[ordered[-1]]["pr_auc"] >= rows[ordered[0]]["pr_auc"] - 0.03
+
+
+def test_ablation_pasting(benchmark):
+    """The paper: pasting has a negligible effect.  Verify."""
+    scale = scale_from_env()
+    functions = scale.functions[:3]
+
+    def run() -> dict:
+        from repro.experiments.harness import evaluate_boxes
+        from repro.core.methods import discover
+        deltas = []
+        for function in functions:
+            model = get_model(function)
+            x_test, y_test = get_test_data(function, size=scale.test_size)
+            for rep in range(scale.n_reps):
+                x, y = make_train_data(model, scale.n_train, seed=600 + rep)
+                plain = discover("P", x, y, seed=rep, paste=False)
+                pasted = discover("P", x, y, seed=rep, paste=True)
+                auc_plain = trajectory_of(plain.boxes, x_test, y_test)[1]
+                auc_pasted = trajectory_of(pasted.boxes, x_test, y_test)[1]
+                deltas.append(auc_pasted - auc_plain)
+        return {"paste-vs-plain": {"delta": float(np.mean(deltas)),
+                                   "abs_delta": float(np.mean(np.abs(deltas)))}}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_pasting", format_table(
+        f"Ablation: pasting effect on PRIM PR AUC [{scale.name} scale]",
+        rows,
+        (("delta", "mean delta %", 100.0), ("abs_delta", "mean |delta| %", 100.0)),
+    ))
+    # "Negligible effect": well under 5 PR AUC points on average.
+    assert abs(rows["paste-vs-plain"]["delta"]) < 0.05

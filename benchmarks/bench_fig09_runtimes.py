@@ -1,0 +1,48 @@
+"""Figure 9: runtimes contingent on the number of simulations N.
+
+Regenerates the two runtime panels: PRIM-based (Pc, PBc, RPf, RPx) and
+BI-based (BI, BIc, RBIcxp) mean runtimes as N grows.  The paper's
+observations: all methods finish within hundreds of seconds; REDS
+methods carry an L-dependent overhead that dominates for small N, so
+they scale sublinearly; baselines are cheap.
+"""
+
+import numpy as np
+
+from _common import emit, pick_l, run_method_grid
+from repro.experiments.design import scale_from_env
+from repro.experiments.harness import aggregate
+from repro.experiments.report import format_series
+
+PRIM_METHODS = ("Pc", "PBc", "RPf", "RPx")
+BI_METHODS = ("BI", "BIc", "RBIcxp")
+
+
+def test_fig09_runtimes(benchmark):
+    scale = scale_from_env()
+    functions = scale.functions[:2] if scale.name == "quick" else scale.functions
+    methods = PRIM_METHODS + BI_METHODS
+
+    def run() -> dict:
+        series = {m: [] for m in methods}
+        for n in scale.n_grid:
+            records = run_method_grid(scale, methods, functions=functions, n=n)
+            agg = aggregate(records)
+            for method in methods:
+                runtimes = [v["runtime"] for (fn, meth), v in agg.items()
+                            if meth == method]
+                series[method].append(float(np.mean(runtimes)))
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit("fig9", format_series(
+        f"Figure 9: mean runtime in seconds vs N [{scale.name} scale, "
+        f"{len(functions)} functions x {scale.n_reps} reps]",
+        "N", scale.n_grid, series, scale=1.0,
+    ))
+
+    for method in methods:
+        assert all(t > 0 for t in series[method])
+    # REDS methods pay the metamodel + L overhead: slower than plain BI.
+    assert series["RBIcxp"][-1] > series["BI"][-1]

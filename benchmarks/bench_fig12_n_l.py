@@ -1,0 +1,77 @@
+"""Figure 12: learning curves in N and the influence of L ("morris").
+
+Regenerates the four panels at benchmark scale:
+
+* left: scenario quality vs the number of simulations N (L fixed) for
+  PRIM-based (P, RPx, RPxp; PR AUC) and BI-based (BI, RBIcxp; WRAcc)
+  methods — the REDS learning curves should dominate;
+* right: quality vs the number of generated points L at fixed N —
+  notably, RPxp (soft labels) already beats P when L = N, confirming
+  the Proposition 1 analysis.
+"""
+
+import numpy as np
+
+from _common import emit, pick_l
+from repro.experiments.design import scale_from_env
+from repro.experiments.harness import run_batch
+from repro.experiments.report import format_series
+
+N_METHODS = ("P", "RPx", "RPxp", "BI", "RBIcxp")
+
+
+def _mean_metric(records, metric):
+    return float(np.mean([getattr(r, metric) for r in records]))
+
+
+def test_fig12_n_and_l(benchmark):
+    scale = scale_from_env()
+    n_sweep = scale.n_grid + (2 * scale.n_grid[-1],)
+    l_sweep = (scale.n_train, 4 * scale.n_train, 16 * scale.n_train)
+
+    def run():
+        by_n = {m: [] for m in N_METHODS}
+        for n in n_sweep:
+            for method in N_METHODS:
+                records = run_batch(
+                    ("morris",), (method,), n, scale.n_reps,
+                    n_new=pick_l(scale, method),
+                    tune_metamodel=scale.tune_metamodel,
+                    test_size=scale.test_size,
+                )
+                metric = "wracc" if method in ("BI", "RBIcxp") else "pr_auc"
+                by_n[method].append(_mean_metric(records, metric))
+
+        by_l = {"RPx": [], "RPxp": []}
+        for l_value in l_sweep:
+            for method in by_l:
+                records = run_batch(
+                    ("morris",), (method,), scale.n_train, scale.n_reps,
+                    n_new=l_value,
+                    tune_metamodel=scale.tune_metamodel,
+                    test_size=scale.test_size,
+                )
+                by_l[method].append(_mean_metric(records, "pr_auc"))
+        return by_n, by_l
+
+    by_n, by_l = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit("fig12", "\n\n".join([
+        format_series(
+            f"Figure 12 (left): quality vs N, morris [{scale.name} scale; "
+            "PR AUC % for P/RPx/RPxp, WRAcc % for BI/RBIcxp]",
+            "N", n_sweep, by_n,
+        ),
+        format_series(
+            f"Figure 12 (right): PR AUC % vs L, morris, N={scale.n_train}",
+            "L", l_sweep, by_l,
+        ),
+    ]))
+
+    # Learning curves grow with N and the REDS curve dominates P's.
+    p_curve, rpx_curve = by_n["P"], by_n["RPx"]
+    assert p_curve[-1] > p_curve[0] - 0.02  # quality grows (within noise)
+    dominated = sum(rpx >= p for rpx, p in zip(rpx_curve, p_curve))
+    assert dominated >= len(p_curve) - 1
+    # Prop 1: soft labels help even for the smallest L = N.
+    assert by_l["RPxp"][0] > p_curve[list(n_sweep).index(scale.n_train)] * 0.9

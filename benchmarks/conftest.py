@@ -1,0 +1,6 @@
+"""Make the repo root importable so benchmarks can share _common.py."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,59 @@
+"""Active-learning REDS: spend the simulation budget where it matters.
+
+The paper's Section 10 sketches combining REDS with active learning:
+start from a small design, let the metamodel pick the next simulations
+near its decision boundary, and extract scenarios at the end.  This
+example compares three ways of spending the same 240-simulation budget
+on the Ishigami model:
+
+* plain PRIM on a 240-point space-filling design;
+* REDS on the same design;
+* active REDS: 80 initial points + 160 uncertainty-sampled queries.
+
+Run:  python examples/active_learning.py
+"""
+
+import numpy as np
+
+from repro import discover, get_model, make_dataset
+from repro.core.active import active_reds
+from repro.metrics import trajectory_of
+from repro.subgroup import prim_peel
+
+BUDGET = 240
+rng = np.random.default_rng(11)
+
+model = get_model("ishigami")
+oracle = lambda points: model.label(points, rng)
+
+x_test, y_test = make_dataset(model, 20_000, rng, sampler="uniform")
+
+# Baselines: one-shot designs of the full budget.
+x, y = make_dataset(model, BUDGET, rng)
+plain = discover("P", x, y, seed=0)
+one_shot = discover("RPx", x, y, seed=0, n_new=20_000, tune_metamodel=False)
+
+# Active REDS: the loop queries the oracle adaptively.
+active = active_reds(
+    oracle, model.dim, lambda a, b: prim_peel(a, b, x_val=x, y_val=y),
+    initial=80, budget=BUDGET, batch=40,
+    metamodel="boosting", strategy="uncertainty",
+    n_new=20_000, rng=np.random.default_rng(0),
+)
+
+print(f"Simulation budget: {BUDGET} runs each\n")
+print(f"{'approach':<26} {'test PR AUC':>12}")
+for name, boxes in (
+    ("PRIM, one-shot design", plain.boxes),
+    ("REDS, one-shot design", one_shot.boxes),
+    ("REDS, active learning", active.sd_output.boxes),
+):
+    _, auc = trajectory_of(boxes, x_test, y_test)
+    print(f"{name:<26} {auc:>12.3f}")
+
+print("\nMean distance of queried batches to the decision boundary "
+      "(|p - 0.5|):")
+print("  " + ", ".join(f"{u:.3f}" for u in active.acquisition_history))
+print("\nThe acquisition history shrinking toward 0 shows the loop "
+      "concentrating\nsimulations on the scenario boundary, where label "
+      "information is worth most.")

@@ -1,0 +1,58 @@
+"""Scenario discovery for smart-grid stability (the paper's "dsgc" model).
+
+The motivating domain of the paper's introduction: an electrical grid
+with Decentral Smart Grid Control.  Each simulation integrates the
+delayed swing equations of a four-node star grid and reports whether
+the synchronous state survives.  Scenario discovery answers the policy
+question "under which reaction delays and price elasticities does the
+grid become unstable?" — as an interpretable rule over the inputs.
+
+Simulations are comparatively expensive here (a real ODE integration),
+which is exactly the regime REDS targets: a metamodel trained on few
+runs labels cheap synthetic points instead.
+
+Run:  python examples/grid_stability.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import discover, get_model, make_dataset
+from repro.metrics import precision_recall, trajectory_of
+
+N_SIMULATIONS = 300
+rng = np.random.default_rng(7)
+
+model = get_model("dsgc")
+print("Simulating the DSGC grid (delay differential equations)...")
+t0 = time.perf_counter()
+x, y = make_dataset(model, N_SIMULATIONS, rng)  # Halton design, like the paper
+sim_time = time.perf_counter() - t0
+print(f"  {N_SIMULATIONS} simulations in {sim_time:.1f}s "
+      f"({y.mean():.1%} unstable)")
+
+print("Generating an independent test sample (cached in-session)...")
+x_test, y_test = make_dataset(model, 4_000, rng, sampler="uniform")
+
+print("\nDiscovering instability scenarios...")
+for method in ("P", "RPx"):
+    result = discover(method, x, y, seed=0, n_new=20_000,
+                      tune_metamodel=False)
+    _, auc = trajectory_of(result.boxes, x_test, y_test)
+    precision, recall = precision_recall(result.chosen_box, x_test, y_test)
+    print(f"\n  {method}: PR AUC {auc:.3f}, chosen box precision "
+          f"{precision:.3f} at recall {recall:.3f}")
+    print(f"  rule: {result.chosen_box}")
+
+print(
+    "\nInputs a1-a4 are the reaction delays tau, a8-a11 the price\n"
+    "elasticities gamma: the discovered rule should single out long\n"
+    "delays combined with strong elasticity (Schäfer et al. 2015)."
+)
+print(
+    f"\nCost argument (paper, Sec. 9.1): one dsgc simulation costs "
+    f"~{sim_time / N_SIMULATIONS * 1000:.1f}ms here; in production "
+    "models it is minutes-to-days, so halving the number of runs "
+    "dominates the metamodel overhead."
+)

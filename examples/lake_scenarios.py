@@ -1,0 +1,47 @@
+"""Third-party data: improving scenarios for the lake problem (Sec. 9.3).
+
+Here no simulation model is available at analysis time — only a fixed
+table of 1000 past runs of the shallow-lake eutrophication model (the
+"lake" dataset of the exploratory modeling workbench).  REDS still
+helps: the metamodel learns from the table and labels fresh uniform
+points, making PRIM's peeling far more consistent across data splits.
+
+Run:  python examples/lake_scenarios.py
+"""
+
+import numpy as np
+
+from repro import discover, third_party_dataset
+from repro.metamodels.tuning import KFold
+from repro.metrics import pairwise_consistency, peeling_trajectory, pr_auc
+
+x, y = third_party_dataset("lake")
+print(f"lake dataset: {x.shape[0]} rows, {x.shape[1]} inputs, "
+      f"{y.mean():.1%} polluted futures")
+print("inputs: b (decay), q (recycling), mean/stdev (natural inflows), "
+      "delta (discount)")
+
+# 5-fold cross-validation, as in the paper: train on 4 folds, judge the
+# scenario on the held-out fold.  "RPfp" (forest metamodel, soft labels)
+# was the paper's best method on this dataset.
+for method in ("Pc", "RPfp"):
+    aucs, boxes = [], []
+    for train, test in KFold(5, seed=1).split(len(x)):
+        result = discover(method, x[train], y[train], seed=0,
+                          n_new=20_000, tune_metamodel=False)
+        trajectory = peeling_trajectory(result.boxes, x[test], y[test])
+        aucs.append(pr_auc(trajectory))
+        boxes.append(result.chosen_box)
+    consistency = pairwise_consistency(boxes)
+    print(f"\n{method}: PR AUC {np.mean(aucs):.3f} (held-out), "
+          f"consistency across folds {consistency:.3f}")
+    print(f"  example scenario: {boxes[0]}")
+
+print(
+    "\nThe paper's Table 5 shape: REDS ('RPfp') yields boxes at least as\n"
+    "consistent as plain tuned PRIM ('Pc') with a better trajectory —\n"
+    "the scenario reflects the model's structure, not one data sample.\n"
+    "(a1 = decay rate b, a2 = recycling exponent q: lakes flip when\n"
+    "decay is weak and recycling steep; a5 = discount rate, which has\n"
+    "no physical influence and should stay unrestricted.)"
+)

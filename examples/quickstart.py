@@ -1,0 +1,49 @@
+"""Quickstart: discover scenarios for the Morris model with REDS.
+
+The scenario-discovery workflow of the paper in ~40 lines:
+
+1. run a limited number of "simulations" (here the 20-input Morris
+   screening function, the paper's flagship workload, stands in for an
+   expensive simulator — REDS gains grow with input dimension);
+2. run REDS ("RPx": boosting metamodel + PRIM) and plain PRIM ("P");
+3. compare the discovered scenarios on an independent test sample.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import discover, get_model, make_dataset
+from repro.metrics import precision_recall, trajectory_of
+
+N_SIMULATIONS = 400
+rng = np.random.default_rng(0)
+
+# Step 1 — simulate.  Inputs live on the unit cube; the model scales
+# them to its native domain internally.  y = 1 marks the interesting
+# outcome (output below the paper's threshold).
+model = get_model("morris")
+x, y = make_dataset(model, N_SIMULATIONS, rng)
+print(f"Ran {N_SIMULATIONS} simulations; {y.mean():.1%} interesting outcomes")
+
+# Step 2 — discover scenarios with plain PRIM and with REDS.
+results = {
+    "PRIM (P)": discover("P", x, y, seed=0),
+    "REDS (RPx)": discover("RPx", x, y, seed=0, n_new=20_000,
+                           tune_metamodel=False),
+}
+
+# Step 3 — judge on independent test data, like the paper does.
+x_test, y_test = make_dataset(model, 20_000, rng)
+print(f"\n{'method':<12} {'PR AUC':>8} {'precision':>10} {'recall':>8} "
+      f"{'#restricted':>12}")
+for name, result in results.items():
+    _, auc = trajectory_of(result.boxes, x_test, y_test)
+    precision, recall = precision_recall(result.chosen_box, x_test, y_test)
+    print(f"{name:<12} {auc:>8.3f} {precision:>10.3f} {recall:>8.3f} "
+          f"{result.chosen_box.n_restricted:>12}")
+
+print("\nScenario found by REDS (rule form):")
+print(" ", results["REDS (RPx)"].chosen_box)
+print("\nThe REDS trajectory reaches higher precision at equal recall —")
+print("the same quality from roughly half the simulations (paper, Sec. 9.1).")

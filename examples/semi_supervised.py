@@ -1,0 +1,57 @@
+"""REDS as a semi-supervised subgroup-discovery method (Section 9.4).
+
+Setting: a small labeled dataset plus a large pool of *unlabeled*
+points from the same (non-uniform!) input distribution — here a
+logit-normal.  REDS trains its metamodel on the labeled part and labels
+the pool, so the subgroup-discovery step sees far more data without a
+single extra simulation or annotation.
+
+Run:  python examples/semi_supervised.py
+"""
+
+import numpy as np
+
+from repro import discover, get_model
+from repro.metrics import trajectory_of, wracc_score
+from repro.sampling import logit_normal
+
+N_LABELED = 300
+N_POOL = 20_000
+rng = np.random.default_rng(3)
+
+model = get_model("wingweight")
+x_labeled = logit_normal(N_LABELED, model.dim, rng)
+y_labeled = model.label(x_labeled, rng)
+pool = logit_normal(N_POOL, model.dim, rng)  # unlabeled, same p(x)
+
+x_test = logit_normal(20_000, model.dim, rng)
+y_test = model.label(x_test, rng)
+print(f"{N_LABELED} labeled + {N_POOL} unlabeled points "
+      f"(logit-normal inputs); base rate {y_labeled.mean():.1%}")
+
+# Plain PRIM sees only the labeled points...
+plain = discover("P", x_labeled, y_labeled, seed=0)
+# ...REDS additionally exploits the unlabeled pool via `pool=`.
+semi = discover("RPx", x_labeled, y_labeled, seed=0, pool=pool,
+                tune_metamodel=False)
+
+print(f"\n{'method':<22} {'PR AUC':>8} {'WRAcc':>8}")
+for name, result in (("PRIM (labeled only)", plain),
+                     ("REDS (semi-superv.)", semi)):
+    _, auc = trajectory_of(result.boxes, x_test, y_test)
+    wracc = wracc_score(result.chosen_box, x_test, y_test)
+    print(f"{name:<22} {auc:>8.3f} {wracc:>8.3f}")
+
+# The BI flavour works the same way.
+bi = discover("BI", x_labeled, y_labeled, seed=0)
+bi_semi = discover("RBIcxp", x_labeled, y_labeled, seed=0, pool=pool,
+                   tune_metamodel=False)
+print(f"\n{'BI (labeled only)':<22} WRAcc "
+      f"{wracc_score(bi.chosen_box, x_test, y_test):.3f}, "
+      f"#restricted {bi.chosen_box.n_restricted}")
+print(f"{'RBIcxp (semi-superv.)':<22} WRAcc "
+      f"{wracc_score(bi_semi.chosen_box, x_test, y_test):.3f}, "
+      f"#restricted {bi_semi.chosen_box.n_restricted}")
+
+print("\nOnly requirement (paper, Sec. 6.1): labeled and unlabeled points "
+      "must come from the same p(x).")

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline environments here lack the `wheel` package, so PEP 660 editable
+# installs fail; this shim enables the legacy `pip install -e .` path.
+setup()

@@ -1,0 +1,43 @@
+"""repro — full reproduction of REDS (Arzamasov & Böhm, SIGMOD 2021).
+
+REDS improves scenario discovery from few simulation runs by training an
+intermediate metamodel and using it to label a much larger synthetic
+sample before running a conventional subgroup-discovery algorithm.
+
+Quickstart::
+
+    import numpy as np
+    from repro import discover, get_model, make_dataset
+    from repro.metrics import trajectory_of
+
+    model = get_model("borehole")
+    rng = np.random.default_rng(0)
+    x, y = make_dataset(model, 400, rng)            # 400 "simulations"
+    result = discover("RPx", x, y, seed=0)          # REDS + PRIM + boosting
+    x_test, y_test = make_dataset(model, 20_000, rng)
+    points, auc = trajectory_of(result.boxes, x_test, y_test)
+    print(result.chosen_box, auc)
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.methods import discover, parse_method, DiscoveryResult
+from repro.core.reds import reds, REDSResult
+from repro.data import get_model, make_dataset, third_party_dataset
+from repro.subgroup.box import Hyperbox
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "discover",
+    "parse_method",
+    "DiscoveryResult",
+    "reds",
+    "REDSResult",
+    "get_model",
+    "make_dataset",
+    "third_party_dataset",
+    "Hyperbox",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the everyday workflows:
+
+* ``list-models`` — the Table 1 catalogue with measured shares;
+* ``discover`` — run one method on one simulation model and print the
+  scenario (rule form, trajectory summary, test metrics);
+* ``compare`` — run several methods with repetitions and print a
+  Table 3-style comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.methods import discover as run_discover
+from repro.data import TABLE1, get_model
+from repro.experiments.harness import aggregate, get_test_data, run_batch
+from repro.experiments.report import format_table
+from repro.metrics import precision_recall, trajectory_of
+from repro.subgroup.describe import describe_box, describe_trajectory
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REDS scenario discovery (SIGMOD 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list the Table 1 simulation models")
+
+    one = sub.add_parser("discover", help="discover scenarios for one model")
+    one.add_argument("--function", required=True, help="Table 1 model name")
+    one.add_argument("--method", default="RPx", help="method name (Sec. 8.2)")
+    one.add_argument("--n", type=int, default=400, help="number of simulations")
+    one.add_argument("--seed", type=int, default=0)
+    one.add_argument("--n-new", type=int, default=None, help="REDS L override")
+    one.add_argument("--no-tune", action="store_true",
+                     help="skip metamodel hyperparameter tuning")
+    one.add_argument("--test-size", type=int, default=10_000)
+
+    many = sub.add_parser("compare", help="compare methods on one model")
+    many.add_argument("--function", required=True)
+    many.add_argument("--methods", default="P,Pc,RPx",
+                      help="comma-separated method names")
+    many.add_argument("--n", type=int, default=400)
+    many.add_argument("--reps", type=int, default=5)
+    many.add_argument("--n-new", type=int, default=20_000)
+    many.add_argument("--no-tune", action="store_true")
+    many.add_argument("--test-size", type=int, default=10_000)
+    return parser
+
+
+def _cmd_list_models() -> int:
+    print(f"{'name':<18} {'M':>3} {'I':>3} {'share %':>8}  reference")
+    for entry in TABLE1:
+        print(f"{entry.name:<18} {entry.dim:>3} {entry.n_relevant:>3} "
+              f"{entry.share * 100:>8.1f}  {entry.reference}")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    model = get_model(args.function)
+    rng = np.random.default_rng(args.seed)
+    from repro.data import make_dataset
+
+    x, y = make_dataset(model, args.n, rng)
+    print(f"{args.function}: {args.n} simulations, "
+          f"{y.mean():.1%} interesting outcomes")
+
+    result = run_discover(
+        args.method, x, y,
+        seed=args.seed,
+        n_new=args.n_new,
+        tune_metamodel=not args.no_tune,
+    )
+    x_test, y_test = get_test_data(args.function, size=args.test_size)
+    _, auc = trajectory_of(result.boxes, x_test, y_test)
+    precision, recall = precision_recall(result.chosen_box, x_test, y_test)
+
+    print(f"\nmethod {args.method} finished in {result.runtime:.1f}s "
+          f"(hyperparameters: {result.hyperparams})")
+    print(f"test PR AUC {auc:.3f}; chosen box: precision {precision:.3f}, "
+          f"recall {recall:.3f}")
+    print("\nscenario:")
+    print(" ", describe_box(result.chosen_box, domain=model.domain))
+    print("\npeeling trajectory (test data):")
+    print(describe_trajectory(result.boxes, x_test, y_test))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    records = run_batch(
+        (args.function,), methods, args.n, args.reps,
+        n_new=args.n_new,
+        tune_metamodel=not args.no_tune,
+        test_size=args.test_size,
+    )
+    aggregated = aggregate(records)
+    rows = {method: aggregated[(args.function, method)] for method in methods}
+    print(format_table(
+        f"{args.function}: N={args.n}, {args.reps} repetitions",
+        rows,
+        (("pr_auc", "PR AUC %", 100.0),
+         ("precision", "precision %", 100.0),
+         ("wracc", "WRAcc %", 100.0),
+         ("consistency", "consistency %", 100.0),
+         ("n_restricted", "# restricted", 1.0),
+         ("n_irrelevant", "# irrel", 1.0),
+         ("runtime", "runtime s", 1.0)),
+        method_order=methods,
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-models":
+        return _cmd_list_models()
+    if args.command == "discover":
+        return _cmd_discover(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

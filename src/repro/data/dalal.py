@@ -1,0 +1,155 @@
+"""Stochastic "noisy" functions 1-8 and 102 after Dalal et al. (2013).
+
+The REDS paper takes nine stochastic binary-output functions from Dalal
+et al., "Improving scenario discovery using orthogonal rotations"
+(Environ. Model. Softw. 48, 2013).  The exact closed forms are not
+recoverable offline, so this module provides documented substitutes that
+reproduce every characteristic the REDS experiments rely on (see
+DESIGN.md):
+
+* functions 1-8 have 5 inputs of which exactly 2 are relevant;
+  function 102 has 15 inputs of which 9 are relevant;
+* outputs are Bernoulli with a smooth probability field
+  ``P(y=1|x) = sigmoid(s * (t - g(x)))`` — a noisy boundary around the
+  level set ``g(x) = t``, mimicking a stochastic simulation;
+* the expected share of ``y = 1`` under uniform inputs matches Table 1
+  of the REDS paper (the offset ``t`` is the matching quantile of
+  ``g``, computed once from a fixed seeded Monte-Carlo sample);
+* the geometric shapes vary (oblique half-plane, corner, disc, diagonal
+  band, rotated ellipse, wavy boundary, L-shape, ring, union of boxes),
+  covering both PRIM-friendly axis-aligned and PRIM-hostile oblique
+  regions — the regime Dalal et al. designed their functions for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["NOISY_FUNCTIONS", "NoisyFunction"]
+
+_CALIBRATION_SAMPLE = 200_000
+_CALIBRATION_SEED = 42
+
+
+@dataclass(frozen=True)
+class NoisyFunction:
+    """A stochastic binary simulation ``P(y=1|x) = sigmoid(s (t - g(x)))``."""
+
+    name: str
+    dim: int
+    relevant: tuple[int, ...]
+    target_share: float
+    g: Callable[[np.ndarray], np.ndarray]
+    offset: float
+    steepness: float
+
+    def prob(self, x: np.ndarray) -> np.ndarray:
+        """``P(y = 1 | x)`` for points ``x`` in the unit cube."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(f"expected shape (n, {self.dim}), got {x.shape}")
+        z = self.steepness * (self.offset - self.g(x))
+        return 1.0 / (1.0 + np.exp(-z))
+
+
+def _calibrate(g: Callable[[np.ndarray], np.ndarray], dim: int,
+               share: float) -> tuple[float, float]:
+    """Pick the sigmoid offset so the *expected* share matches exactly.
+
+    The steepness is scaled to the interquartile range of ``g`` so every
+    function has a comparable (clearly noticeable but not overwhelming)
+    noise band.  The offset is then found by bisection on the fixed
+    Monte-Carlo sample: ``mean sigmoid(s (t - g)) = share`` is monotone
+    increasing in ``t``, so this converges and corrects for any
+    curvature-induced asymmetry of the noise around the boundary.
+    """
+    rng = np.random.default_rng(_CALIBRATION_SEED)
+    values = g(rng.random((_CALIBRATION_SAMPLE, dim)))
+    q75, q25 = np.percentile(values, [75, 25])
+    steepness = 12.0 / max(q75 - q25, 1e-12)
+
+    lo, hi = float(values.min()) - 1.0, float(values.max()) + 1.0
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        mean_prob = float(np.mean(1.0 / (1.0 + np.exp(-steepness * (mid - values)))))
+        if mean_prob < share:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi), steepness
+
+
+def _make(name: str, dim: int, relevant: tuple[int, ...], share: float,
+          g: Callable[[np.ndarray], np.ndarray]) -> NoisyFunction:
+    offset, steepness = _calibrate(g, dim, share)
+    return NoisyFunction(name, dim, relevant, share, g, offset, steepness)
+
+
+# ----------------------------------------------------------------------
+# Geometric shapes over the two relevant inputs u = x1, v = x2
+# ----------------------------------------------------------------------
+
+def _halfplane(x):
+    return x[:, 0] + x[:, 1]
+
+
+def _corner(x):
+    return np.maximum(x[:, 0], x[:, 1])
+
+
+def _disc(x):
+    return (x[:, 0] - 0.7) ** 2 + (x[:, 1] - 0.3) ** 2
+
+
+def _diagonal_band(x):
+    return np.abs(x[:, 0] - x[:, 1])
+
+
+def _rotated_ellipse(x):
+    s = x[:, 0] + x[:, 1] - 1.0
+    d = x[:, 0] - x[:, 1]
+    return 2.0 * s**2 + 8.0 * d**2
+
+
+def _wavy_boundary(x):
+    return x[:, 1] - 0.25 * np.sin(2.0 * np.pi * x[:, 0])
+
+
+def _l_shape(x):
+    return np.minimum(x[:, 0], x[:, 1])
+
+
+def _ring(x):
+    radius = np.sqrt((x[:, 0] - 0.5) ** 2 + (x[:, 1] - 0.5) ** 2)
+    return np.abs(radius - 0.35)
+
+
+# Function 102: the complement of a union of two 9-dimensional boxes
+# (share of y=1 is large, 67.2 %, so the "uninteresting" part is the
+# union of box neighbourhoods).
+_BOX1_CENTER = np.linspace(0.2, 0.8, 9)
+_BOX2_CENTER = np.linspace(0.75, 0.25, 9)
+
+
+def _union_of_boxes(x):
+    active = x[:, :9]
+    d1 = np.abs(active - _BOX1_CENTER).max(axis=1)
+    d2 = np.abs(active - _BOX2_CENTER).max(axis=1)
+    return -np.minimum(d1, d2)  # negated: y=1 away from both boxes
+
+
+#: The nine stochastic functions keyed by their Table 1 names.
+NOISY_FUNCTIONS: dict[str, NoisyFunction] = {
+    "1": _make("1", 5, (0, 1), 0.476, _halfplane),
+    "2": _make("2", 5, (0, 1), 0.257, _corner),
+    "3": _make("3", 5, (0, 1), 0.082, _disc),
+    "4": _make("4", 5, (0, 1), 0.180, _diagonal_band),
+    "5": _make("5", 5, (0, 1), 0.080, _rotated_ellipse),
+    "6": _make("6", 5, (0, 1), 0.081, _wavy_boundary),
+    "7": _make("7", 5, (0, 1), 0.350, _l_shape),
+    "8": _make("8", 5, (0, 1), 0.109, _ring),
+    "102": _make("102", 15, tuple(range(9)), 0.672, _union_of_boxes),
+}

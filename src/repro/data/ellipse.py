@@ -1,0 +1,26 @@
+"""The paper's own "ellipse" function (Section 8.3).
+
+``f_e(x) = sum_{j=1}^{15} w_j (x_j - c_j)^2`` with ``w_j, c_j`` constants
+in [0, 1] and ``w_j = 0`` for ``j > 10``, i.e. 10 of 15 inputs are
+relevant.  The paper does not publish the constants, so we fix them with
+a seeded draw; the threshold 0.8 then yields a share of interesting
+outcomes close to the paper's 22.5 % (calibrated in registry.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ellipse", "ELLIPSE_WEIGHTS", "ELLIPSE_CENTERS"]
+
+_rng = np.random.default_rng(1713)  # arXiv number of the paper, for fun
+ELLIPSE_WEIGHTS = np.concatenate([_rng.uniform(0.1, 1.0, size=10), np.zeros(5)])
+ELLIPSE_CENTERS = _rng.uniform(0.0, 1.0, size=15)
+
+
+def ellipse(x: np.ndarray) -> np.ndarray:
+    """Weighted squared distance to a fixed centre; inputs 11-15 inert."""
+    x = np.asarray(x, dtype=float)
+    if x.shape[1] != 15:
+        raise ValueError(f"ellipse expects 15 inputs, got {x.shape[1]}")
+    return ((x - ELLIPSE_CENTERS) ** 2) @ ELLIPSE_WEIGHTS

@@ -1,0 +1,178 @@
+"""The :class:`SimulationModel` abstraction shared by every data source.
+
+A simulation model, in the sense of the paper, is a black box mapping a
+point of the input space to an output.  Scenario discovery always works
+with the *unit-cube parameterisation* of the inputs: design points live
+in ``[0, 1]^M`` and are scaled to the model's native domain internally.
+This mirrors the paper's setup (Latin hypercube sampling from
+``[0, 1]^M``, Section 8.5) and means hyperboxes found by subgroup
+discovery are directly comparable across models.
+
+Three kinds of models exist:
+
+``"real"``
+    A deterministic real-valued function, binarised with a threshold:
+    ``y = 1`` iff the raw output is *below* ``thr`` (the paper's
+    convention, Section 8.3).
+
+``"prob"``
+    A stochastic simulation defining ``f(x) = P(y = 1 | x)``; labels are
+    Bernoulli draws.  The Dalal et al. "noisy" functions are of this kind.
+
+``"binary"``
+    A deterministic simulation that directly outputs ``y`` in ``{0, 1}``,
+    e.g. the "dsgc" grid-stability model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.sampling.designs import get_sampler
+
+__all__ = ["SimulationModel", "make_dataset"]
+
+ModelKind = Literal["real", "prob", "binary"]
+
+
+@dataclass(frozen=True)
+class SimulationModel:
+    """A simulation model with a binary "interesting" output.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in Table 1 of the paper (e.g. ``"borehole"``).
+    dim:
+        Number of inputs ``M``.
+    relevant:
+        Indices (0-based) of inputs that affect the output; ``I`` of
+        Table 1 is ``len(relevant)``.  Used by the "number of
+        irrelevantly restricted inputs" quality measure.
+    kind:
+        One of ``"real"``, ``"prob"``, ``"binary"`` (see module docs).
+    raw:
+        Vectorised function of an ``(n, dim)`` array in *native* domain
+        coordinates returning an ``(n,)`` array: the real output for
+        ``"real"`` models, ``P(y=1|x)`` for ``"prob"`` models, hard 0/1
+        labels for ``"binary"`` models.
+    threshold:
+        Binarisation threshold ``thr`` for ``"real"`` models
+        (``y = 1`` iff ``raw(x) < thr``); ``None`` otherwise.
+    domain:
+        Optional ``(2, dim)`` array of per-input ``(low, high)`` bounds of
+        the native domain.  ``None`` means the native domain already is
+        the unit cube.
+    default_sampler:
+        Sampler name used by the paper for this model (``"lhs"`` for all
+        analytic functions, ``"halton"`` for dsgc).
+    """
+
+    name: str
+    dim: int
+    relevant: tuple[int, ...]
+    kind: ModelKind
+    raw: Callable[[np.ndarray], np.ndarray]
+    threshold: float | None = None
+    domain: np.ndarray | None = None
+    default_sampler: str = "lhs"
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError(f"dim must be positive, got {self.dim}")
+        if not all(0 <= j < self.dim for j in self.relevant):
+            raise ValueError("relevant indices must lie in [0, dim)")
+        if self.kind == "real" and self.threshold is None:
+            raise ValueError(f"model {self.name!r} is 'real' but has no threshold")
+        if self.domain is not None:
+            dom = np.asarray(self.domain, dtype=float)
+            if dom.shape != (2, self.dim):
+                raise ValueError(
+                    f"domain must have shape (2, {self.dim}), got {dom.shape}"
+                )
+            if not (dom[1] > dom[0]).all():
+                raise ValueError("domain upper bounds must exceed lower bounds")
+
+    # ------------------------------------------------------------------
+    # Coordinate handling
+    # ------------------------------------------------------------------
+    def scale(self, u: np.ndarray) -> np.ndarray:
+        """Map unit-cube points ``u`` to the model's native domain."""
+        u = np.asarray(u, dtype=float)
+        if u.ndim != 2 or u.shape[1] != self.dim:
+            raise ValueError(f"expected shape (n, {self.dim}), got {u.shape}")
+        if self.domain is None:
+            return u
+        low, high = np.asarray(self.domain, dtype=float)
+        return low + u * (high - low)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, u: np.ndarray) -> np.ndarray:
+        """Raw model output at unit-cube points ``u``."""
+        return np.asarray(self.raw(self.scale(u)), dtype=float)
+
+    def prob(self, u: np.ndarray) -> np.ndarray:
+        """``P(y = 1 | x)`` at unit-cube points ``u``.
+
+        Deterministic models return an indicator in ``{0.0, 1.0}``.
+        """
+        out = self.evaluate(u)
+        if self.kind == "real":
+            return (out < self.threshold).astype(float)
+        if self.kind == "binary":
+            return out.astype(float)
+        return np.clip(out, 0.0, 1.0)
+
+    def label(self, u: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Binary labels at unit-cube points ``u``.
+
+        ``rng`` is required for stochastic (``"prob"``) models.
+        """
+        p = self.prob(u)
+        if self.kind != "prob":
+            return p.astype(np.int64)
+        if rng is None:
+            raise ValueError(f"model {self.name!r} is stochastic; pass rng to label()")
+        return (rng.random(len(p)) < p).astype(np.int64)
+
+    @property
+    def n_relevant(self) -> int:
+        """``I`` of Table 1: the number of inputs affecting the output."""
+        return len(self.relevant)
+
+    @property
+    def irrelevant(self) -> tuple[int, ...]:
+        """Indices of inputs with no influence on the output."""
+        rel = set(self.relevant)
+        return tuple(j for j in range(self.dim) if j not in rel)
+
+    def share(self, n: int = 100_000, seed: int = 0) -> float:
+        """Monte-Carlo estimate of ``P(y = 1)`` under uniform inputs."""
+        rng = np.random.default_rng(seed)
+        u = rng.random((n, self.dim))
+        return float(self.prob(u).mean())
+
+
+def make_dataset(
+    model: SimulationModel,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    sampler: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``n`` simulations: sample a design, evaluate, binarise.
+
+    Returns ``(X, y)`` with ``X`` in unit-cube coordinates, matching the
+    paper's experiment pipeline (Section 8.5).  ``sampler`` defaults to
+    the model's paper-prescribed design (LHS, or Halton for dsgc).
+    """
+    design = get_sampler(sampler or model.default_sampler)
+    x = design(n, model.dim, rng)
+    y = model.label(x, rng)
+    return x, y

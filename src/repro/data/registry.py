@@ -1,0 +1,236 @@
+"""Registry of every data source in Table 1 of the REDS paper.
+
+``get_model(name)`` returns a ready-to-use :class:`SimulationModel` for
+any of the 33 functions (32 analytic + the dsgc simulation);
+``third_party_dataset(name)`` returns the fixed "TGL"/"lake" tables.
+
+Thresholds
+----------
+For functions whose published closed form we reproduce exactly, the
+paper's binarisation threshold from Table 1 is used directly.  For the
+documented surrogates (see DESIGN.md) the threshold is *calibrated*: it
+is set to the quantile of the raw output (over a fixed seeded
+Monte-Carlo sample) matching the paper's share of interesting outcomes,
+so the class balance of every workload equals the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.data import dalal, ellipse as ellipse_mod, saltelli, surjanovic
+from repro.data.dsgc import DSGC_DIM, dsgc_unstable
+from repro.data.lake import lake_dataset
+from repro.data.model import SimulationModel
+from repro.data.tgl import tgl_dataset
+
+__all__ = [
+    "TABLE1",
+    "Table1Entry",
+    "get_model",
+    "list_models",
+    "third_party_dataset",
+    "ALL_FUNCTIONS",
+    "CONTINUOUS_FUNCTIONS",
+    "MIXED_INPUT_FUNCTIONS",
+    "THIRD_PARTY",
+]
+
+_CALIBRATION_SAMPLE = 200_000
+_CALIBRATION_SEED = 7
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One row of Table 1: the paper-reported workload characteristics."""
+
+    name: str
+    dim: int
+    n_relevant: int
+    reference: str
+    threshold: float | None  # None = output already binary ("na" rows)
+    share: float             # expected share of y = 1, in [0, 1]
+    calibrated: bool = False  # threshold recomputed to match `share`?
+
+
+#: Paper's Table 1 (share column converted to fractions).
+TABLE1: tuple[Table1Entry, ...] = (
+    Table1Entry("1", 5, 2, "[22]", None, 0.476),
+    Table1Entry("2", 5, 2, "[22]", None, 0.257),
+    Table1Entry("3", 5, 2, "[22]", None, 0.082),
+    Table1Entry("4", 5, 2, "[22]", None, 0.180),
+    Table1Entry("5", 5, 2, "[22]", None, 0.080),
+    Table1Entry("6", 5, 2, "[22]", None, 0.081),
+    Table1Entry("7", 5, 2, "[22]", None, 0.350),
+    Table1Entry("8", 5, 2, "[22]", None, 0.109),
+    Table1Entry("102", 15, 9, "[22]", None, 0.672),
+    # The standard borehole formula yields flow rates far below the
+    # paper's threshold of 1000 (their implementation evidently used a
+    # different output scale), so the threshold is calibrated to the
+    # paper's share instead.
+    Table1Entry("borehole", 8, 8, "[91]", 1000.0, 0.309, calibrated=True),
+    Table1Entry("dsgc", 12, 12, "[85]", None, 0.537),
+    Table1Entry("ellipse", 15, 10, "our", 0.8, 0.225, calibrated=True),
+    Table1Entry("hart3", 3, 3, "[91]", -1.0, 0.335),
+    Table1Entry("hart4", 4, 4, "[91]", -0.5, 0.301),
+    Table1Entry("hart6sc", 6, 6, "[91]", 1.0, 0.226, calibrated=True),
+    Table1Entry("ishigami", 3, 3, "[91]", 1.0, 0.255),
+    Table1Entry("linketal06dec", 10, 8, "[91]", 0.15, 0.253),
+    Table1Entry("linketal06simple", 10, 4, "[91]", 0.33, 0.285),
+    Table1Entry("linketal06sin", 10, 2, "[91]", 0.0, 0.272),
+    Table1Entry("loepetal13", 10, 7, "[91]", 9.0, 0.389),
+    Table1Entry("moon10hd", 20, 20, "[91]", 0.0, 0.421, calibrated=True),
+    Table1Entry("moon10hdc1", 20, 5, "[91]", 0.0, 0.342, calibrated=True),
+    Table1Entry("moon10low", 3, 3, "[91]", 1.5, 0.456, calibrated=True),
+    Table1Entry("morretal06", 30, 10, "[91]", -330.0, 0.345, calibrated=True),
+    Table1Entry("morris", 20, 20, "[81]", 20.0, 0.301),
+    Table1Entry("oakoh04", 15, 15, "[91]", 10.0, 0.249, calibrated=True),
+    Table1Entry("otlcircuit", 6, 6, "[91]", 4.5, 0.225),
+    Table1Entry("piston", 7, 7, "[91]", 0.4, 0.368),
+    Table1Entry("soblev99", 20, 19, "[91]", 2000.0, 0.413, calibrated=True),
+    Table1Entry("sobol", 8, 8, "[81]", 0.7, 0.392),
+    Table1Entry("welchetal92", 20, 18, "[91]", 0.0, 0.356),
+    Table1Entry("willetal06", 3, 2, "[91]", -1.0, 0.249, calibrated=True),
+    Table1Entry("wingweight", 10, 10, "[91]", 250.0, 0.378),
+    Table1Entry("TGL", 9, 0, "[12]", None, 0.101),
+    Table1Entry("lake", 5, 0, "[56]", None, 0.335),
+)
+
+_TABLE1_BY_NAME = {entry.name: entry for entry in TABLE1}
+
+#: All 33 simulation models of the main experiments (Section 9.1).
+ALL_FUNCTIONS: tuple[str, ...] = tuple(
+    entry.name for entry in TABLE1 if entry.name not in ("TGL", "lake")
+)
+CONTINUOUS_FUNCTIONS = ALL_FUNCTIONS
+#: The mixed-input study excludes "dsgc" (Section 9.1.2).
+MIXED_INPUT_FUNCTIONS: tuple[str, ...] = tuple(
+    name for name in ALL_FUNCTIONS if name != "dsgc"
+)
+THIRD_PARTY: tuple[str, ...] = ("TGL", "lake")
+
+# (raw callable, native domain or None) for every deterministic function.
+_REAL_FUNCTIONS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], np.ndarray | None]] = {
+    "borehole": (surjanovic.borehole, surjanovic.BOREHOLE_DOMAIN),
+    "ellipse": (ellipse_mod.ellipse, None),
+    "hart3": (surjanovic.hart3, None),
+    "hart4": (surjanovic.hart4, None),
+    "hart6sc": (surjanovic.hart6sc, None),
+    "ishigami": (surjanovic.ishigami, surjanovic.ISHIGAMI_DOMAIN),
+    "linketal06dec": (surjanovic.linketal06dec, None),
+    "linketal06simple": (surjanovic.linketal06simple, None),
+    "linketal06sin": (surjanovic.linketal06sin, None),
+    "loepetal13": (surjanovic.loepetal13, None),
+    "moon10hd": (surjanovic.moon10hd, None),
+    "moon10hdc1": (surjanovic.moon10hdc1, None),
+    "moon10low": (surjanovic.moon10low, None),
+    "morretal06": (surjanovic.morretal06, None),
+    "morris": (saltelli.morris, None),
+    "oakoh04": (surjanovic.oakoh04, None),
+    "otlcircuit": (surjanovic.otlcircuit, surjanovic.OTL_DOMAIN),
+    "piston": (surjanovic.piston, surjanovic.PISTON_DOMAIN),
+    "soblev99": (surjanovic.soblev99, None),
+    "sobol": (saltelli.sobol_g, None),
+    "welchetal92": (surjanovic.welchetal92, surjanovic.WELCH_DOMAIN),
+    "willetal06": (surjanovic.willetal06, None),
+    "wingweight": (surjanovic.wingweight, surjanovic.WINGWEIGHT_DOMAIN),
+}
+
+_RELEVANT_OVERRIDES: dict[str, tuple[int, ...]] = {
+    # welchetal92: x8 and x16 (1-based) do not appear in the formula.
+    "welchetal92": tuple(j for j in range(20) if j not in (7, 15)),
+    # soblev99: b_20 = 0.
+    "soblev99": tuple(range(19)),
+    # Functions with a leading block of active inputs.
+    "linketal06dec": tuple(range(8)),
+    "linketal06simple": tuple(range(4)),
+    "linketal06sin": (0, 1),
+    "loepetal13": tuple(range(7)),
+    "moon10hdc1": tuple(range(5)),
+    "morretal06": tuple(range(10)),
+    "ellipse": tuple(range(10)),
+    "willetal06": (0, 1),
+}
+
+
+def _calibrate_threshold(raw: Callable[[np.ndarray], np.ndarray],
+                         domain: np.ndarray | None, dim: int,
+                         share: float) -> float:
+    """Threshold = `share`-quantile of the raw output under uniform inputs."""
+    rng = np.random.default_rng(_CALIBRATION_SEED)
+    u = rng.random((_CALIBRATION_SAMPLE, dim))
+    if domain is not None:
+        low, high = np.asarray(domain, dtype=float)
+        u = low + u * (high - low)
+    return float(np.quantile(raw(u), share))
+
+
+@lru_cache(maxsize=None)
+def get_model(name: str) -> SimulationModel:
+    """Build the :class:`SimulationModel` for a Table 1 function name."""
+    entry = _TABLE1_BY_NAME.get(name)
+    if entry is None or name in THIRD_PARTY:
+        raise KeyError(
+            f"unknown simulation model {name!r}; available: {sorted(ALL_FUNCTIONS)}"
+        )
+
+    if name in dalal.NOISY_FUNCTIONS:
+        noisy = dalal.NOISY_FUNCTIONS[name]
+        return SimulationModel(
+            name=name,
+            dim=noisy.dim,
+            relevant=noisy.relevant,
+            kind="prob",
+            raw=noisy.prob,
+            reference=entry.reference,
+        )
+
+    if name == "dsgc":
+        return SimulationModel(
+            name=name,
+            dim=DSGC_DIM,
+            relevant=tuple(range(DSGC_DIM)),
+            kind="binary",
+            raw=dsgc_unstable,
+            default_sampler="halton",
+            reference=entry.reference,
+        )
+
+    raw, domain = _REAL_FUNCTIONS[name]
+    relevant = _RELEVANT_OVERRIDES.get(name, tuple(range(entry.dim)))
+    if len(relevant) != entry.n_relevant:
+        raise AssertionError(
+            f"registry bug: {name} has {len(relevant)} relevant inputs, "
+            f"Table 1 says {entry.n_relevant}"
+        )
+    threshold = entry.threshold
+    if entry.calibrated:
+        threshold = _calibrate_threshold(raw, domain, entry.dim, entry.share)
+    return SimulationModel(
+        name=name,
+        dim=entry.dim,
+        relevant=relevant,
+        kind="real",
+        raw=raw,
+        threshold=threshold,
+        domain=domain,
+        reference=entry.reference,
+    )
+
+
+def list_models() -> tuple[str, ...]:
+    """Names of all simulation models (excludes the third-party tables)."""
+    return ALL_FUNCTIONS
+
+
+def third_party_dataset(name: str) -> tuple[np.ndarray, np.ndarray]:
+    """The fixed third-party tables of Section 9.3 (``"TGL"``, ``"lake"``)."""
+    if name == "TGL":
+        return tgl_dataset()
+    if name == "lake":
+        return lake_dataset()
+    raise KeyError(f"unknown third-party dataset {name!r}; available: {THIRD_PARTY}")

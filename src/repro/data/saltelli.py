@@ -1,0 +1,74 @@
+"""The "morris" and "sobol" sensitivity-analysis functions.
+
+Both appear in Saltelli, Chan & Scott (2000) and are provided by the R
+package "sensitivity" the paper uses.  The Morris function is the
+central workload of the paper's Section 9.2 experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morris", "sobol_g"]
+
+
+def _morris_w(x: np.ndarray) -> np.ndarray:
+    """Morris's transformed inputs w_i on [-1, 1]."""
+    w = 2.0 * (x - 0.5)
+    for j in (2, 4, 6):  # the paper's inputs 3, 5, 7 (1-based)
+        w[:, j] = 2.0 * (1.1 * x[:, j] / (x[:, j] + 0.1) - 0.5)
+    return w
+
+
+def morris(x: np.ndarray) -> np.ndarray:
+    """Morris (1991) 20-input screening function.
+
+    First-order coefficients: 20 for inputs 1..10, ``(-1)^i`` otherwise;
+    second order: -15 for inputs 1..6, ``(-1)^(i+j)`` otherwise; third
+    order: -10 for inputs 1..5; fourth order: 5 for inputs 1..4.
+    All 20 inputs affect the output.
+    """
+    w = _morris_w(np.asarray(x, dtype=float))
+    n, m = w.shape
+    if m != 20:
+        raise ValueError(f"morris expects 20 inputs, got {m}")
+
+    signs = (-1.0) ** np.arange(1, m + 1)  # (-1)^i for 1-based i
+    beta1 = np.where(np.arange(m) < 10, 20.0, signs)
+    y = w @ beta1
+
+    # Second-order terms: beta_ij = -15 for i<j<=6, (-1)^(i+j) otherwise.
+    pair_signs = signs[:, None] * signs[None, :]  # (-1)^(i+j)
+    beta2 = pair_signs.copy()
+    beta2[:6, :6] = -15.0
+    beta2 = np.triu(beta2, k=1)
+    y += np.einsum("ni,ij,nj->n", w, beta2, w)
+
+    # Third-order: -10 for i<j<l<=5; fourth-order: 5 for i<j<l<s<=4.
+    w5 = w[:, :5]
+    sums5 = w5.sum(axis=1)
+    sq5 = (w5**2).sum(axis=1)
+    cube5 = (w5**3).sum(axis=1)
+    e3 = (sums5**3 - 3.0 * sums5 * sq5 + 2.0 * cube5) / 6.0
+    y += -10.0 * e3
+
+    w4 = w[:, :4]
+    # Elementary symmetric polynomial e4 of exactly four variables is
+    # simply their product.
+    y += 5.0 * np.prod(w4, axis=1)
+    return y
+
+
+def sobol_g(x: np.ndarray, a: np.ndarray | None = None) -> np.ndarray:
+    """Sobol' g-function with 8 inputs.
+
+    Uses the standard coefficient vector ``a = (0, 1, 4.5, 9, 99, 99, 99,
+    99)``: the first inputs dominate but every input has a (possibly
+    tiny) effect, hence I = 8 in Table 1.
+    """
+    x = np.asarray(x, dtype=float)
+    if a is None:
+        a = np.array([0.0, 1.0, 4.5, 9.0, 99.0, 99.0, 99.0, 99.0])
+    if x.shape[1] != len(a):
+        raise ValueError(f"sobol_g expects {len(a)} inputs, got {x.shape[1]}")
+    return np.prod((np.abs(4.0 * x - 2.0) + a) / (1.0 + a), axis=1)

@@ -1,0 +1,38 @@
+"""Evaluation harness reproducing Section 8.5 / Section 9.
+
+:mod:`repro.experiments.harness` runs (function, method, N, seed)
+combinations and aggregates the paper's quality measures;
+:mod:`repro.experiments.design` holds the per-table/figure experiment
+configurations; :mod:`repro.experiments.report` renders the paper's
+table rows and figure series as text.
+"""
+
+from repro.experiments.harness import (
+    RunRecord,
+    evaluate_boxes,
+    run_single,
+    run_batch,
+    run_third_party,
+    aggregate,
+    aggregate_third_party,
+    average_over_functions,
+    make_train_data,
+    get_test_data,
+)
+from repro.experiments.design import BenchScale, scale_from_env, EXPERIMENTS
+
+__all__ = [
+    "RunRecord",
+    "evaluate_boxes",
+    "run_single",
+    "run_batch",
+    "run_third_party",
+    "aggregate",
+    "aggregate_third_party",
+    "average_over_functions",
+    "make_train_data",
+    "get_test_data",
+    "BenchScale",
+    "scale_from_env",
+    "EXPERIMENTS",
+]

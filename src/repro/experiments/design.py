@@ -1,0 +1,151 @@
+"""Experiment configurations for every table and figure of the paper.
+
+Each entry of :data:`EXPERIMENTS` describes one evaluation artefact
+(table or figure) and the workload that regenerates it.  Benchmarks run
+a scaled-down grid by default so the suite finishes on a laptop in
+minutes; set the environment variable ``REDS_BENCH_SCALE=full`` to run
+the paper-sized grid (33 functions, 50 repetitions, L = 10^5).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.data.registry import ALL_FUNCTIONS, MIXED_INPUT_FUNCTIONS
+
+__all__ = ["BenchScale", "scale_from_env", "EXPERIMENTS", "QUICK_FUNCTIONS"]
+
+#: A small but diverse function subset for quick benchmark runs: a noisy
+#: Dalal function, low-dimensional deterministic functions, a screening
+#: function with inert inputs, and the paper's own ellipse.
+QUICK_FUNCTIONS: tuple[str, ...] = (
+    "3", "ishigami", "linketal06sin", "ellipse",
+)
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs that trade benchmark fidelity against runtime."""
+
+    name: str
+    functions: tuple[str, ...]
+    n_reps: int
+    n_train: int
+    n_new_prim: int          # L for PRIM-based REDS
+    n_new_bi: int            # L for BI-based REDS
+    test_size: int
+    tune_metamodel: bool
+    n_grid: tuple[int, ...]  # the N sweep where an experiment uses one
+    bumping_repeats: int     # Q of PRIM-with-bumping
+
+
+QUICK = BenchScale(
+    name="quick",
+    functions=QUICK_FUNCTIONS,
+    n_reps=3,
+    n_train=300,
+    n_new_prim=10_000,
+    n_new_bi=3_000,
+    test_size=8_000,
+    tune_metamodel=False,
+    n_grid=(150, 300),
+    bumping_repeats=15,
+)
+
+FULL = BenchScale(
+    name="full",
+    functions=ALL_FUNCTIONS,
+    n_reps=50,
+    n_train=400,
+    n_new_prim=100_000,
+    n_new_bi=10_000,
+    test_size=20_000,
+    tune_metamodel=True,
+    n_grid=(200, 400, 800),
+    bumping_repeats=50,
+)
+
+
+def scale_from_env() -> BenchScale:
+    """``REDS_BENCH_SCALE`` in {"quick" (default), "full"}."""
+    value = os.environ.get("REDS_BENCH_SCALE", "quick").lower()
+    if value == "full":
+        return FULL
+    if value == "quick":
+        return QUICK
+    raise ValueError(f"REDS_BENCH_SCALE must be 'quick' or 'full', got {value!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Descriptor mapping one paper artefact to its workload."""
+
+    artefact: str          # e.g. "Table 3 / Figure 7"
+    section: str
+    methods: tuple[str, ...]
+    variant: str = "continuous"
+    description: str = ""
+
+
+EXPERIMENTS: dict[str, ExperimentConfig] = {
+    "fig6": ExperimentConfig(
+        artefact="Figure 6",
+        section="8.1",
+        methods=("BI", "BIc"),
+        description="Demonstration: train-set evaluation is overly "
+                    "optimistic and can invert method rankings; "
+                    "hyperparameter optimisation helps.",
+    ),
+    "tab3_fig7": ExperimentConfig(
+        artefact="Table 3 / Figure 7",
+        section="9.1.1",
+        methods=("P", "Pc", "PB", "PBc", "RPf", "RPx", "RPs"),
+        description="PRIM-based methods across all functions: PR AUC, "
+                    "precision, consistency, #restricted, #irrel.",
+    ),
+    "tab4_fig8": ExperimentConfig(
+        artefact="Table 4 / Figure 8",
+        section="9.1.1",
+        methods=("BI", "BIc", "BI5", "RBIcfp", "RBIcxp"),
+        description="BI-based methods: WRAcc, consistency, #restricted, #irrel.",
+    ),
+    "fig9": ExperimentConfig(
+        artefact="Figure 9",
+        section="9.1.1",
+        methods=("Pc", "PBc", "RPf", "RPx", "BI", "BIc", "RBIcxp"),
+        description="Runtimes contingent on N.",
+    ),
+    "fig10": ExperimentConfig(
+        artefact="Figure 10",
+        section="9.1.2",
+        methods=("Pc", "PBc", "RPcxp", "BIc", "BI", "RBIcxp"),
+        variant="mixed",
+        description="Mixed (continuous + discrete) inputs.",
+    ),
+    "fig11": ExperimentConfig(
+        artefact="Figure 11",
+        section="9.2.1",
+        methods=("P", "Pc", "RPx"),
+        description="Peeling trajectories and PR AUC variance on morris.",
+    ),
+    "fig12": ExperimentConfig(
+        artefact="Figure 12",
+        section="9.2.2",
+        methods=("P", "Pc", "RPx", "RPxp", "BI", "BIc", "RBIcxp"),
+        description="Learning curves in N and dependence on L (morris).",
+    ),
+    "fig13_tab5": ExperimentConfig(
+        artefact="Figure 13 / Table 5",
+        section="9.3",
+        methods=("Pc", "RPf", "RPfp"),
+        description="Third-party data (TGL, lake): trajectories and metrics.",
+    ),
+    "fig14": ExperimentConfig(
+        artefact="Figure 14",
+        section="9.4",
+        methods=("PBc", "RPx", "BI", "RBIcxp"),
+        variant="logitnormal",
+        description="REDS as a semi-supervised subgroup-discovery method.",
+    ),
+}

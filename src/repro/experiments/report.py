@@ -1,0 +1,116 @@
+"""Text rendering of the paper's tables and figure series.
+
+Benchmarks print these so a run directly shows "the same rows the paper
+reports": method columns, metric rows in percent, relative-change
+summaries for the box plots, and coarse ASCII curves for trajectory
+figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_relative",
+    "format_series",
+    "format_trajectory",
+]
+
+
+def format_table(
+    title: str,
+    rows: dict[str, dict],
+    metrics: tuple[tuple[str, str, float], ...],
+    *,
+    method_order: tuple[str, ...] | None = None,
+) -> str:
+    """Render ``{method: {metric: value}}`` as an aligned text table.
+
+    ``metrics`` entries are ``(key, label, scale)`` — e.g. PR AUC is
+    reported in percent (scale 100) like the paper.
+    """
+    methods = tuple(method_order or rows.keys())
+    methods = tuple(m for m in methods if m in rows)
+    width = max(max((len(m) for m in methods), default=6) + 2, 9)
+    label_width = max((len(label) for _, label, _ in metrics), default=10) + 2
+
+    lines = [title, "-" * len(title)]
+    header = " " * label_width + "".join(f"{m:>{width}}" for m in methods)
+    lines.append(header)
+    for key, label, scale in metrics:
+        cells = []
+        for method in methods:
+            value = rows[method].get(key, float("nan"))
+            cells.append(f"{value * scale:>{width}.2f}")
+        lines.append(f"{label:<{label_width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_relative(
+    title: str,
+    rows: dict[str, dict],
+    baseline: str,
+    metrics: tuple[tuple[str, str], ...],
+) -> str:
+    """Relative change in percent w.r.t. a baseline method (the box plots).
+
+    Mirrors Figures 7/8/10/14, which show quality change relative to
+    "Pc" or "BIc".
+    """
+    if baseline not in rows:
+        raise KeyError(f"baseline {baseline!r} missing from rows")
+    lines = [title, "-" * len(title)]
+    for key, label in metrics:
+        base = rows[baseline].get(key, float("nan"))
+        cells = []
+        for method, values in rows.items():
+            if method == baseline:
+                continue
+            value = values.get(key, float("nan"))
+            if base == 0 or not np.isfinite(base):
+                change = float("nan")
+            else:
+                change = 100.0 * (value - base) / abs(base)
+            cells.append(f"{method}: {change:+.1f}%")
+        lines.append(f"{label:<14} vs {baseline}:  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs, series: dict[str, list[float]],
+                  scale: float = 100.0) -> str:
+    """A figure's line series as a table: one row per x, one col per method."""
+    methods = tuple(series.keys())
+    width = max(max((len(m) for m in methods), default=8) + 2, 9)
+    lines = [title, "-" * len(title)]
+    lines.append(f"{x_label:<10}" + "".join(f"{m:>{width}}" for m in methods))
+    for i, x in enumerate(xs):
+        cells = "".join(f"{series[m][i] * scale:>{width}.2f}" for m in methods)
+        lines.append(f"{str(x):<10}" + cells)
+    return "\n".join(lines)
+
+
+def format_trajectory(title: str, trajectories: dict[str, np.ndarray],
+                      n_bins: int = 10) -> str:
+    """Smoothed peeling trajectories: mean precision per recall bin.
+
+    The paper plots trajectories smoothed across 50 repetitions
+    (Figures 11/13); this prints mean precision within recall deciles.
+    """
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    methods = tuple(trajectories.keys())
+    width = max(max((len(m) for m in methods), default=8) + 2, 9)
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'recall':<12}" + "".join(f"{m:>{width}}" for m in methods))
+    for b in range(n_bins - 1, -1, -1):
+        lo, hi = edges[b], edges[b + 1]
+        cells = []
+        for method in methods:
+            points = trajectories[method]
+            mask = (points[:, 0] >= lo) & (points[:, 0] <= hi)
+            if mask.any():
+                cells.append(f"{points[mask, 1].mean():>{width}.3f}")
+            else:
+                cells.append(f"{'-':>{width}}")
+        lines.append(f"[{lo:.1f},{hi:.1f}]  " + "".join(cells))
+    return "\n".join(lines)

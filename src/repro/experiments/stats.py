@@ -1,0 +1,122 @@
+"""Statistical tests used in the paper's evaluation.
+
+Section 9 ranks methods with pairwise post-hoc Friedman tests across
+functions and with the Wilcoxon-Mann-Whitney test for per-function
+comparisons (Figure 11).  This module implements the Friedman omnibus
+test, the Conover post-hoc pairwise procedure, and thin wrappers around
+the rank-sum test, so benchmarks can report the same significance
+statements as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = [
+    "friedman_test",
+    "posthoc_friedman_conover",
+    "rank_methods",
+    "wilcoxon_mann_whitney",
+    "FriedmanResult",
+]
+
+
+@dataclass(frozen=True)
+class FriedmanResult:
+    """Omnibus Friedman test over a (datasets x methods) score matrix."""
+
+    statistic: float
+    p_value: float
+    mean_ranks: np.ndarray  # average rank per method (1 = best)
+
+
+def _validate_scores(scores: np.ndarray) -> np.ndarray:
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (datasets, methods), got {scores.shape}")
+    n, k = scores.shape
+    if n < 2 or k < 2:
+        raise ValueError(f"need >= 2 datasets and >= 2 methods, got {scores.shape}")
+    if not np.isfinite(scores).all():
+        raise ValueError("scores contain non-finite values")
+    return scores
+
+
+def rank_methods(scores: np.ndarray, higher_is_better: bool = True) -> np.ndarray:
+    """Per-dataset ranks (1 = best), ties get average ranks."""
+    scores = _validate_scores(scores)
+    signed = -scores if higher_is_better else scores
+    return np.vstack([sps.rankdata(row) for row in signed])
+
+
+def friedman_test(scores: np.ndarray, higher_is_better: bool = True) -> FriedmanResult:
+    """Friedman's chi-squared test: do the methods differ at all?
+
+    ``scores[i, j]`` is the quality of method j on dataset i — the
+    layout of the paper's per-function averages.
+    """
+    scores = _validate_scores(scores)
+    ranks = rank_methods(scores, higher_is_better)
+    n, k = ranks.shape
+    mean_ranks = ranks.mean(axis=0)
+
+    # Friedman statistic with tie correction via scipy for robustness.
+    statistic, p_value = sps.friedmanchisquare(*[scores[:, j] for j in range(k)])
+    return FriedmanResult(float(statistic), float(p_value), mean_ranks)
+
+
+def posthoc_friedman_conover(
+    scores: np.ndarray,
+    higher_is_better: bool = True,
+) -> np.ndarray:
+    """Pairwise post-hoc p-values after a Friedman test (Conover 1999).
+
+    Returns a symmetric (k, k) matrix of p-values; the diagonal is 1.
+    The statistic compares rank sums with a t-distribution whose
+    variance estimate removes the omnibus chi-squared effect, the
+    standard "post-hoc Friedman" procedure the paper references.
+    """
+    scores = _validate_scores(scores)
+    ranks = rank_methods(scores, higher_is_better)
+    n, k = ranks.shape
+    rank_sums = ranks.sum(axis=0)
+
+    a = float((ranks**2).sum())
+    b = float((rank_sums**2).sum()) / n
+    chi2_denominator = a - n * k * (k + 1) ** 2 / 4.0
+    if chi2_denominator <= 0:  # all methods tied everywhere
+        return np.ones((k, k))
+    chi2 = (k - 1) * (b - n * k * (k + 1) ** 2 / 4.0) / chi2_denominator
+
+    df = (n - 1) * (k - 1)
+    variance = 2.0 * n * (a - b) / df
+    if variance <= 0:
+        # Perfectly consistent rankings: any rank-sum difference is
+        # maximally significant, equal sums are not.
+        p_values = np.where(
+            np.abs(rank_sums[:, None] - rank_sums[None, :]) > 0, 0.0, 1.0)
+        np.fill_diagonal(p_values, 1.0)
+        return p_values
+
+    diff = np.abs(rank_sums[:, None] - rank_sums[None, :])
+    t_stats = diff / np.sqrt(variance)
+    p_values = 2.0 * sps.t.sf(t_stats, df)
+    np.fill_diagonal(p_values, 1.0)
+    return np.clip(p_values, 0.0, 1.0)
+
+
+def wilcoxon_mann_whitney(
+    sample_a: np.ndarray,
+    sample_b: np.ndarray,
+    alternative: str = "greater",
+) -> float:
+    """Rank-sum test p-value, as used for the Figure 11 comparison."""
+    sample_a = np.asarray(sample_a, dtype=float)
+    sample_b = np.asarray(sample_b, dtype=float)
+    if len(sample_a) == 0 or len(sample_b) == 0:
+        raise ValueError("both samples must be non-empty")
+    return float(sps.mannwhitneyu(sample_a, sample_b,
+                                  alternative=alternative).pvalue)

@@ -1,0 +1,29 @@
+"""Metamodel substrate: the intermediate ML models used by REDS.
+
+The paper uses random forest, XGBoost and an RBF-kernel SVM as the
+accurate intermediate metamodels (Section 6.1).  None of those libraries
+are available offline, so this package implements them from scratch on
+numpy: a weighted CART tree as the shared building block, bagged trees
+for the forest, Newton (second-order) boosting for the XGBoost
+equivalent, an SMO solver for the SVM, and caret-style cross-validated
+grid search for hyperparameter tuning.
+"""
+
+from repro.metamodels.base import Metamodel
+from repro.metamodels.tree import DecisionTreeRegressor
+from repro.metamodels.forest import RandomForestModel
+from repro.metamodels.boosting import GradientBoostingModel
+from repro.metamodels.svm import SVMModel
+from repro.metamodels.tuning import KFold, cross_val_accuracy, tune_metamodel, make_metamodel
+
+__all__ = [
+    "Metamodel",
+    "DecisionTreeRegressor",
+    "RandomForestModel",
+    "GradientBoostingModel",
+    "SVMModel",
+    "KFold",
+    "cross_val_accuracy",
+    "tune_metamodel",
+    "make_metamodel",
+]

@@ -1,0 +1,32 @@
+"""The interface every metamodel implements.
+
+REDS needs exactly two things from a metamodel (Algorithm 4): fit on the
+simulated dataset, and produce either hard labels (``predict``) or
+soft labels / probabilities (``predict_proba``) for freshly sampled
+points.  The ``bnd`` threshold of the paper is folded into ``predict``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Metamodel"]
+
+
+@runtime_checkable
+class Metamodel(Protocol):
+    """Protocol for intermediate metamodels (the ``AM`` of Algorithm 4)."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Metamodel":
+        """Train on ``(n, m)`` inputs and ``(n,)`` binary labels."""
+        ...
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Estimate ``P(y = 1 | x)`` for each row, shape ``(n,)``."""
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 labels: ``I(f_am(x) > bnd)`` of Algorithm 4, line 5."""
+        ...

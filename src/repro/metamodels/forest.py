@@ -1,0 +1,100 @@
+"""Random forest metamodel (Breiman 2001) — the paper's "f" variant.
+
+Bootstrap-aggregated CART trees with per-node feature subsampling.
+For a binary response the average of leaf means across trees estimates
+``P(y = 1 | x)``, which is exactly what REDS needs: soft labels for the
+"p" variants and hard labels via the 0.5 threshold otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metamodels.tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestModel"]
+
+
+class RandomForestModel:
+    """Random forest probability estimator.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size.
+    max_features:
+        Features tried per split: an int, ``"sqrt"`` (default, the
+        classification convention) or ``"third"`` (the regression
+        convention, M/3).
+    min_samples_leaf:
+        Leaf size; 1 grows fully deep trees as in the reference
+        implementation.
+    seed:
+        Seed of the internal generator (bootstraps + feature draws).
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        max_features: int | str = "sqrt",
+        min_samples_leaf: int = 1,
+        max_depth: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_features = max_features
+        self.min_samples_leaf = min_samples_leaf
+        self.max_depth = max_depth
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.n_features_: int | None = None
+
+    def _resolve_max_features(self, m: int) -> int:
+        if isinstance(self.max_features, int):
+            k = self.max_features
+        elif self.max_features == "sqrt":
+            k = int(np.sqrt(m))
+        elif self.max_features == "third":
+            k = m // 3
+        else:
+            raise ValueError(f"unknown max_features {self.max_features!r}")
+        return min(max(k, 1), m)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestModel":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
+        rng = np.random.default_rng(self.seed)
+        n, m = x.shape
+        self.n_features_ = m
+        mtry = self._resolve_max_features(m)
+
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=mtry,
+                rng=rng,
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean leaf response across trees, an estimate of ``P(y=1|x)``."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted; call fit() first")
+        x = np.asarray(x, dtype=float)
+        total = np.zeros(len(x))
+        for tree in self.trees_:
+            total += tree.predict(x)
+        return total / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard labels with the majority (0.5) threshold."""
+        return (self.predict_proba(x) > 0.5).astype(np.int64)

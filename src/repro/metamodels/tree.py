@@ -1,0 +1,258 @@
+"""Weighted CART regression tree — the shared building block.
+
+One tree implementation serves both ensemble metamodels:
+
+* the random forest grows deep trees on bootstrap samples with feature
+  subsampling, averaging leaf means of the binary response (which makes
+  the forest output a probability estimate);
+* Newton boosting fits shallow trees to the pseudo-response ``-g/h``
+  with hessian sample weights, then replaces the leaf values with the
+  regularised Newton step (see :mod:`repro.metamodels.boosting`).
+
+Splits minimise the weighted sum of squared errors, found by the classic
+sorted-scan with prefix sums; for a binary response this is equivalent
+to Gini-impurity splitting, so nothing is lost relative to a dedicated
+classification tree.
+
+Trees are stored as flat arrays (feature, threshold, children, value)
+which makes batch prediction a handful of vectorised index operations
+per tree level instead of a Python recursion per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+_NO_FEATURE = -1
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with sample weights and feature subsampling.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or hit
+        ``min_samples_leaf``.
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    max_features:
+        Number of features examined per split; ``None`` uses all.  When
+        set, a fresh random subset is drawn at every node (the random
+        forest convention), which requires ``rng``.
+    min_child_weight:
+        Minimum total sample weight in each child (used as the hessian
+        floor by boosting).
+    rng:
+        Random generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        min_child_weight: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if max_features is not None and rng is None:
+            raise ValueError("feature subsampling (max_features) requires rng")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_child_weight = min_child_weight
+        self.rng = rng
+        # Flat representation, filled by fit().
+        self.feature: np.ndarray | None = None
+        self.threshold: np.ndarray | None = None
+        self.left: np.ndarray | None = None
+        self.right: np.ndarray | None = None
+        self.value: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        if sample_weight is None:
+            weight = np.ones(len(y))
+        else:
+            weight = np.asarray(sample_weight, dtype=float)
+            if (weight < 0).any() or weight.sum() <= 0:
+                raise ValueError("sample weights must be non-negative with positive sum")
+
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+
+        def new_node() -> int:
+            features.append(_NO_FEATURE)
+            thresholds.append(0.0)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(0.0)
+            return len(features) - 1
+
+        # Iterative depth-first build; each stack item is (node_id,
+        # sample indices, depth).
+        root = new_node()
+        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(len(y)), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            y_node = y[idx]
+            w_node = weight[idx]
+            w_sum = w_node.sum()
+            values[node] = float(np.average(y_node, weights=w_node)) if w_sum > 0 else 0.0
+
+            if (
+                (self.max_depth is not None and depth >= self.max_depth)
+                or len(idx) < 2 * self.min_samples_leaf
+                or np.all(y_node == y_node[0])
+            ):
+                continue
+
+            split = self._best_split(x[idx], y_node, w_node)
+            if split is None:
+                continue
+            feat, thr = split
+            go_left = x[idx, feat] <= thr
+            left_id = new_node()
+            right_id = new_node()
+            features[node] = feat
+            thresholds[node] = thr
+            lefts[node] = left_id
+            rights[node] = right_id
+            stack.append((left_id, idx[go_left], depth + 1))
+            stack.append((right_id, idx[~go_left], depth + 1))
+
+        self.feature = np.array(features, dtype=np.int64)
+        self.threshold = np.array(thresholds, dtype=float)
+        self.left = np.array(lefts, dtype=np.int64)
+        self.right = np.array(rights, dtype=np.int64)
+        self.value = np.array(values, dtype=float)
+        return self
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray,
+                    w: np.ndarray) -> tuple[int, float] | None:
+        """Weighted-SSE-optimal (feature, threshold) or None.
+
+        Scans candidate features with the sorted prefix-sum trick: for a
+        split after sorted position k, the SSE reduction is
+        ``Sl^2/Wl + Sr^2/Wr - S^2/W`` with ``S`` the weighted response
+        sums — only the first two terms vary, so we maximise those.
+        """
+        n, m = x.shape
+        if self.max_features is not None and self.max_features < m:
+            candidates = self.rng.choice(m, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(m)
+
+        best_gain = 1e-12  # require a strictly positive improvement
+        best: tuple[int, float] | None = None
+        min_leaf = self.min_samples_leaf
+        for feat in candidates:
+            order = np.argsort(x[:, feat], kind="stable")
+            xs = x[order, feat]
+            ws = w[order]
+            wys = ws * y[order]
+
+            cum_w = np.cumsum(ws)
+            cum_wy = np.cumsum(wys)
+            total_w = cum_w[-1]
+            total_wy = cum_wy[-1]
+            if total_w <= 0:
+                continue
+
+            # Split positions: after index k (0-based), left has k+1 points.
+            pos = np.arange(min_leaf - 1, n - min_leaf)
+            if len(pos) == 0:
+                continue
+            # Exclude splits between equal feature values.
+            distinct = xs[pos] < xs[pos + 1]
+            pos = pos[distinct]
+            if len(pos) == 0:
+                continue
+
+            wl = cum_w[pos]
+            wr = total_w - wl
+            if self.min_child_weight > 0:
+                ok = (wl >= self.min_child_weight) & (wr >= self.min_child_weight)
+                pos, wl, wr = pos[ok], wl[ok], wr[ok]
+                if len(pos) == 0:
+                    continue
+            sl = cum_wy[pos]
+            sr = total_wy - sl
+            gain = sl**2 / np.maximum(wl, 1e-300) + sr**2 / np.maximum(wr, 1e-300)
+            gain -= total_wy**2 / total_w
+
+            k = int(np.argmax(gain))
+            if gain[k] > best_gain:
+                best_gain = float(gain[k])
+                best = (int(feat), float(0.5 * (xs[pos[k]] + xs[pos[k] + 1])))
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.feature is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Leaf index for each row of ``x`` (vectorised level-wise walk)."""
+        self._check_fitted()
+        x = np.asarray(x, dtype=float)
+        node = np.zeros(len(x), dtype=np.int64)
+        active = self.feature[node] != _NO_FEATURE
+        while active.any():
+            rows = np.nonzero(active)[0]
+            cur = node[rows]
+            feat = self.feature[cur]
+            go_left = x[rows, feat] <= self.threshold[cur]
+            node[rows] = np.where(go_left, self.left[cur], self.right[cur])
+            active[rows] = self.feature[node[rows]] != _NO_FEATURE
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Leaf mean response for each row of ``x``."""
+        return self.value[self.apply(x)]
+
+    def set_leaf_values(self, leaf_values: dict[int, float]) -> None:
+        """Overwrite leaf predictions (used by Newton boosting)."""
+        self._check_fitted()
+        for leaf, val in leaf_values.items():
+            if self.feature[leaf] != _NO_FEATURE:
+                raise ValueError(f"node {leaf} is not a leaf")
+            self.value[leaf] = val
+
+    @property
+    def n_nodes(self) -> int:
+        self._check_fitted()
+        return len(self.feature)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (root-only tree has depth 0)."""
+        self._check_fitted()
+        depths = np.zeros(self.n_nodes, dtype=np.int64)
+        for node in range(self.n_nodes):
+            if self.feature[node] != _NO_FEATURE:
+                depths[self.left[node]] = depths[node] + 1
+                depths[self.right[node]] = depths[node] + 1
+        return int(depths.max())

@@ -1,0 +1,74 @@
+"""Consistency: robustness of discovered scenarios across datasets.
+
+Definition 2 of the paper: for two boxes discovered by the same
+algorithm from two same-size datasets of the same model, consistency is
+the expected ratio of the volume of their overlap to the volume of
+their union.  Infinite bounds are replaced by the reference domain
+(the unit cube here); for discrete inputs, counts of distinct levels
+replace interval lengths.
+
+The experiments estimate the expectation by averaging ``Vo/Vu`` over
+all pairs of (last) boxes from the repeated runs (Section 8.5).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.subgroup.box import Hyperbox
+
+__all__ = ["box_consistency", "pairwise_consistency"]
+
+
+def box_consistency(
+    box_a: Hyperbox,
+    box_b: Hyperbox,
+    *,
+    reference_lower: np.ndarray | None = None,
+    reference_upper: np.ndarray | None = None,
+    discrete_levels: dict[int, np.ndarray] | None = None,
+) -> float:
+    """``Vo / Vu`` for one pair of boxes.
+
+    The union of two axis-aligned boxes is not a box, but its volume is
+    ``V_a + V_b - Vo``, which is all we need.  Two empty boxes have
+    consistency 0 by convention.
+    """
+    kwargs = dict(
+        reference_lower=reference_lower,
+        reference_upper=reference_upper,
+        discrete_levels=discrete_levels,
+    )
+    vol_a = box_a.volume(**kwargs)
+    vol_b = box_b.volume(**kwargs)
+    overlap = box_a.intersection(box_b)
+    vol_overlap = overlap.volume(**kwargs) if overlap is not None else 0.0
+    vol_union = vol_a + vol_b - vol_overlap
+    if vol_union <= 0.0:
+        return 0.0
+    return vol_overlap / vol_union
+
+
+def pairwise_consistency(
+    boxes: Sequence[Hyperbox],
+    *,
+    reference_lower: np.ndarray | None = None,
+    reference_upper: np.ndarray | None = None,
+    discrete_levels: dict[int, np.ndarray] | None = None,
+) -> float:
+    """Average ``Vo/Vu`` over all unordered pairs of ``boxes``."""
+    if len(boxes) < 2:
+        raise ValueError("consistency needs at least two boxes")
+    values = [
+        box_consistency(
+            a, b,
+            reference_lower=reference_lower,
+            reference_upper=reference_upper,
+            discrete_levels=discrete_levels,
+        )
+        for a, b in combinations(boxes, 2)
+    ]
+    return float(np.mean(values))

@@ -1,0 +1,73 @@
+"""Point-wise subgroup quality measures.
+
+All functions take a box and an evaluation dataset ``(x, y)`` — in the
+paper's methodology that dataset is the independent 20000-point test
+sample, never the training data (Section 8.1, Example 8.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.subgroup.box import Hyperbox
+
+__all__ = [
+    "precision",
+    "recall",
+    "precision_recall",
+    "wracc_score",
+    "n_restricted",
+    "n_irrelevant",
+]
+
+
+def precision_recall(box: Hyperbox, x: np.ndarray,
+                     y: np.ndarray) -> tuple[float, float]:
+    """``(n+/n, n+/N+)`` of the subgroup defined by ``box`` on ``(x, y)``.
+
+    An empty subgroup has precision 0 by convention (the worst case for
+    a scenario that claims to isolate interesting outcomes).
+    """
+    y = np.asarray(y, dtype=float)
+    inside = box.contains(x)
+    n = int(inside.sum())
+    covered_pos = float(y[inside].sum())
+    total_pos = float(y.sum())
+    prec = covered_pos / n if n else 0.0
+    rec = covered_pos / total_pos if total_pos else 0.0
+    return prec, rec
+
+
+def precision(box: Hyperbox, x: np.ndarray, y: np.ndarray) -> float:
+    """Share of interesting examples among those covered by the box."""
+    return precision_recall(box, x, y)[0]
+
+
+def recall(box: Hyperbox, x: np.ndarray, y: np.ndarray) -> float:
+    """Share of all interesting examples covered by the box."""
+    return precision_recall(box, x, y)[1]
+
+
+def wracc_score(box: Hyperbox, x: np.ndarray, y: np.ndarray) -> float:
+    """Weighted Relative Accuracy ``n/N (n+/n - N+/N)``."""
+    y = np.asarray(y, dtype=float)
+    inside = box.contains(x)
+    n = int(inside.sum())
+    if n == 0:
+        return 0.0
+    return (n / len(y)) * (float(y[inside].mean()) - float(y.mean()))
+
+
+def n_restricted(box: Hyperbox) -> int:
+    """Number of inputs the box restricts (low = interpretable)."""
+    return box.n_restricted
+
+
+def n_irrelevant(box: Hyperbox, relevant: tuple[int, ...] | np.ndarray) -> int:
+    """Number of restricted inputs with no influence on the output.
+
+    ``relevant`` lists the indices of inputs that do affect the output
+    (ground truth known for the synthetic functions, Table 1's ``I``).
+    """
+    relevant_set = set(int(j) for j in relevant)
+    return sum(1 for j in box.restricted_dims if int(j) not in relevant_set)

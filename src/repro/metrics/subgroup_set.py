@@ -1,0 +1,111 @@
+"""Quality of *sets* of subgroups (the covering approach's output).
+
+Section 8.5 of the paper: "the quality of a set of scenarios is an
+aggregate of their individual qualities" — one usually averages the
+per-box measures (following Grosskreutz & Rüping 2009 and Lavrač et
+al. 2004).  This module provides that aggregation plus set-level
+measures that individual boxes cannot express: joint coverage (recall
+of the union), overlap between boxes, and the share of interesting
+examples left uncovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.quality import precision_recall, wracc_score
+from repro.subgroup.box import Hyperbox
+
+__all__ = ["SubgroupSetQuality", "evaluate_subgroup_set", "joint_coverage"]
+
+
+@dataclass(frozen=True)
+class SubgroupSetQuality:
+    """Aggregate quality of a set of boxes on one dataset."""
+
+    n_boxes: int
+    mean_precision: float
+    mean_recall: float
+    mean_wracc: float
+    mean_n_restricted: float
+    joint_recall: float       # recall of the union of all boxes
+    joint_precision: float    # precision of the union
+    overlap_rate: float       # mean pairwise Jaccard overlap of coverage
+    uncovered_positive_share: float
+
+
+def joint_coverage(boxes: Sequence[Hyperbox], x: np.ndarray) -> np.ndarray:
+    """Boolean mask of points covered by at least one box."""
+    if not boxes:
+        return np.zeros(len(x), dtype=bool)
+    covered = np.zeros(len(x), dtype=bool)
+    for box in boxes:
+        covered |= box.contains(x)
+    return covered
+
+
+def _pairwise_jaccard(masks: list[np.ndarray]) -> float:
+    if len(masks) < 2:
+        return 0.0
+    values = []
+    for a, b in combinations(masks, 2):
+        union = (a | b).sum()
+        values.append((a & b).sum() / union if union else 0.0)
+    return float(np.mean(values))
+
+
+def evaluate_subgroup_set(
+    boxes: Sequence[Hyperbox],
+    x: np.ndarray,
+    y: np.ndarray,
+) -> SubgroupSetQuality:
+    """Per-box averages plus set-level coverage measures.
+
+    An empty set is legal (the covering loop may stop immediately) and
+    yields all-zero quality with ``uncovered_positive_share = 1``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
+    total_pos = float(y.sum())
+
+    if not boxes:
+        return SubgroupSetQuality(
+            n_boxes=0, mean_precision=0.0, mean_recall=0.0, mean_wracc=0.0,
+            mean_n_restricted=0.0, joint_recall=0.0, joint_precision=0.0,
+            overlap_rate=0.0,
+            uncovered_positive_share=1.0 if total_pos else 0.0,
+        )
+
+    precisions, recalls, wraccs, restricted = [], [], [], []
+    masks = []
+    for box in boxes:
+        prec, rec = precision_recall(box, x, y)
+        precisions.append(prec)
+        recalls.append(rec)
+        wraccs.append(wracc_score(box, x, y))
+        restricted.append(box.n_restricted)
+        masks.append(box.contains(x))
+
+    union = joint_coverage(boxes, x)
+    union_pos = float(y[union].sum())
+    joint_recall = union_pos / total_pos if total_pos else 0.0
+    joint_precision = union_pos / union.sum() if union.any() else 0.0
+
+    return SubgroupSetQuality(
+        n_boxes=len(boxes),
+        mean_precision=float(np.mean(precisions)),
+        mean_recall=float(np.mean(recalls)),
+        mean_wracc=float(np.mean(wraccs)),
+        mean_n_restricted=float(np.mean(restricted)),
+        joint_recall=joint_recall,
+        joint_precision=joint_precision,
+        overlap_rate=_pairwise_jaccard(masks),
+        uncovered_positive_share=(
+            1.0 - joint_recall if total_pos else 0.0),
+    )

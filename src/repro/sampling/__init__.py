@@ -1,0 +1,32 @@
+"""Design-of-experiments substrate: space-filling designs and input distributions.
+
+The paper forms training datasets with Latin hypercube sampling for all
+analytic functions and a Halton sequence for the "dsgc" simulation
+(Section 8.5).  Section 9.1.2 discretises even-numbered inputs for the
+mixed-input study and Section 9.4 samples inputs from a logit-normal
+distribution for the semi-supervised study.  All of those live here.
+"""
+
+from repro.sampling.designs import (
+    halton_sequence,
+    latin_hypercube,
+    uniform_random,
+    get_sampler,
+    SAMPLERS,
+)
+from repro.sampling.distributions import (
+    logit_normal,
+    discretize_even_inputs,
+    MIXED_LEVELS,
+)
+
+__all__ = [
+    "halton_sequence",
+    "latin_hypercube",
+    "uniform_random",
+    "get_sampler",
+    "SAMPLERS",
+    "logit_normal",
+    "discretize_even_inputs",
+    "MIXED_LEVELS",
+]

@@ -1,0 +1,41 @@
+"""Subgroup-discovery substrate: hyperboxes and the three algorithms.
+
+Implements the algorithms of Section 3 of the paper: PRIM's peeling
+(+ optional pasting), PRIM with bumping (bagged random boxes), and the
+BestInterval beam search, plus the covering approach for finding
+several subgroups.
+"""
+
+from repro.subgroup.box import Hyperbox
+from repro.subgroup.prim import PRIMResult, prim_peel, OBJECTIVES
+from repro.subgroup.bumping import BumpingResult, prim_bumping
+from repro.subgroup.best_interval import BIResult, best_interval, best_interval_for_dim
+from repro.subgroup.covering import covering
+from repro.subgroup.pca_prim import pca_prim, pca_rotation, Rotation, RotatedBox
+from repro.subgroup.describe import (
+    describe_box,
+    describe_trajectory,
+    box_to_dict,
+    summarize_box,
+)
+
+__all__ = [
+    "Hyperbox",
+    "PRIMResult",
+    "prim_peel",
+    "OBJECTIVES",
+    "BumpingResult",
+    "prim_bumping",
+    "BIResult",
+    "best_interval",
+    "best_interval_for_dim",
+    "covering",
+    "pca_prim",
+    "pca_rotation",
+    "Rotation",
+    "RotatedBox",
+    "describe_box",
+    "describe_trajectory",
+    "box_to_dict",
+    "summarize_box",
+]

@@ -1,0 +1,145 @@
+"""Hyperboxes: the scenario representation.
+
+A hyperbox is a conjunction of per-input intervals
+``prod_j [lower_j, upper_j]`` with ``-inf``/``+inf`` denoting an
+unrestricted side (Section 3.1 of the paper).  Boxes are immutable;
+peeling and refinement produce new boxes via :meth:`Hyperbox.replace`.
+
+Volume computations follow Definition 2 of the paper: infinities are
+replaced by the bounds of the reference domain (the unit cube for all
+our data), and for discrete inputs the count of distinct covered levels
+is used instead of interval length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Hyperbox"]
+
+
+@dataclass(frozen=True)
+class Hyperbox:
+    """An axis-aligned box with possibly unbounded sides."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=float)
+        upper = np.asarray(self.upper, dtype=float)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError(
+                f"bounds must be equal-length vectors, got {lower.shape} / {upper.shape}"
+            )
+        if not (lower <= upper).all():
+            raise ValueError("lower bounds must not exceed upper bounds")
+        # Freeze the arrays so the dataclass is genuinely immutable.
+        lower.setflags(write=False)
+        upper.setflags(write=False)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def unrestricted(cls, dim: int) -> "Hyperbox":
+        """The full input space ``prod_j [-inf, +inf]``."""
+        return cls(np.full(dim, -np.inf), np.full(dim, np.inf))
+
+    def replace(self, dim: int, lower: float | None = None,
+                upper: float | None = None) -> "Hyperbox":
+        """New box with one dimension's bounds changed."""
+        new_lower = self.lower.copy()
+        new_upper = self.upper.copy()
+        if lower is not None:
+            new_lower[dim] = lower
+        if upper is not None:
+            new_upper[dim] = upper
+        return Hyperbox(new_lower, new_upper)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return len(self.lower)
+
+    def contains(self, x: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for rows of ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(f"expected shape (n, {self.dim}), got {x.shape}")
+        return ((x >= self.lower) & (x <= self.upper)).all(axis=1)
+
+    @property
+    def restricted_dims(self) -> np.ndarray:
+        """Indices of inputs restricted by this box."""
+        return np.nonzero(np.isfinite(self.lower) | np.isfinite(self.upper))[0]
+
+    @property
+    def n_restricted(self) -> int:
+        """The paper's #restricted interpretability measure."""
+        return len(self.restricted_dims)
+
+    def key(self) -> tuple:
+        """Hashable identity of the box (for dedup in beam search)."""
+        return (tuple(self.lower.tolist()), tuple(self.upper.tolist()))
+
+    # ------------------------------------------------------------------
+    # Volumes (Definition 2)
+    # ------------------------------------------------------------------
+    def _clipped_bounds(self, reference_lower: np.ndarray,
+                        reference_upper: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        lower = np.maximum(self.lower, reference_lower)
+        upper = np.minimum(self.upper, reference_upper)
+        return lower, np.maximum(upper, lower)
+
+    def volume(
+        self,
+        reference_lower: np.ndarray | None = None,
+        reference_upper: np.ndarray | None = None,
+        discrete_levels: dict[int, np.ndarray] | None = None,
+    ) -> float:
+        """Normalised volume within the reference domain.
+
+        Continuous dimensions contribute their clipped interval length
+        divided by the reference length; discrete dimensions (keys of
+        ``discrete_levels``) contribute the fraction of levels covered.
+        The unrestricted box therefore has volume 1.
+        """
+        ref_lo = np.zeros(self.dim) if reference_lower is None else np.asarray(reference_lower, dtype=float)
+        ref_hi = np.ones(self.dim) if reference_upper is None else np.asarray(reference_upper, dtype=float)
+        lower, upper = self._clipped_bounds(ref_lo, ref_hi)
+        fractions = (upper - lower) / (ref_hi - ref_lo)
+        if discrete_levels:
+            for j, levels in discrete_levels.items():
+                levels = np.asarray(levels, dtype=float)
+                covered = ((levels >= lower[j]) & (levels <= upper[j])).sum()
+                fractions[j] = covered / len(levels)
+        return float(np.prod(fractions))
+
+    def intersection(self, other: "Hyperbox") -> "Hyperbox | None":
+        """The overlap box, or None if the boxes are disjoint."""
+        lower = np.maximum(self.lower, other.lower)
+        upper = np.minimum(self.upper, other.upper)
+        if (lower > upper).any():
+            return None
+        return Hyperbox(lower, upper)
+
+    def __repr__(self) -> str:  # compact rule-like rendering
+        parts = []
+        for j in self.restricted_dims:
+            lo = self.lower[j]
+            hi = self.upper[j]
+            if np.isfinite(lo) and np.isfinite(hi):
+                parts.append(f"{lo:.3g} <= a{j + 1} <= {hi:.3g}")
+            elif np.isfinite(lo):
+                parts.append(f"a{j + 1} >= {lo:.3g}")
+            else:
+                parts.append(f"a{j + 1} <= {hi:.3g}")
+        body = " AND ".join(parts) if parts else "TRUE"
+        return f"Hyperbox({body})"

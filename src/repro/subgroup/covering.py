@@ -1,0 +1,50 @@
+"""The covering approach for discovering several subgroups.
+
+As described in Section 3.2 of the paper: repeatedly run a subgroup
+discovery algorithm on the examples *not* covered by previously found
+boxes.  Works with any of the algorithms in this package; the caller
+supplies a function mapping ``(x, y)`` to a single box.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.subgroup.box import Hyperbox
+
+__all__ = ["covering"]
+
+
+def covering(
+    x: np.ndarray,
+    y: np.ndarray,
+    discover: Callable[[np.ndarray, np.ndarray], Hyperbox],
+    *,
+    n_subgroups: int = 3,
+    min_remaining: int = 20,
+    min_positives: int = 1,
+) -> list[Hyperbox]:
+    """Find up to ``n_subgroups`` boxes by successive removal.
+
+    Stops early when fewer than ``min_remaining`` uncovered examples or
+    fewer than ``min_positives`` uncovered positives remain, or when the
+    discovery function returns an unrestricted box (no signal left).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
+
+    remaining = np.ones(len(x), dtype=bool)
+    found: list[Hyperbox] = []
+    for _ in range(n_subgroups):
+        if remaining.sum() < min_remaining or y[remaining].sum() < min_positives:
+            break
+        box = discover(x[remaining], y[remaining])
+        if box.n_restricted == 0:
+            break
+        found.append(box)
+        remaining &= ~box.contains(x)
+    return found

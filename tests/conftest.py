@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.subgroup.box import Hyperbox
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def planted_box_data(
+    n: int,
+    dim: int,
+    lower: float = 0.2,
+    upper: float = 0.6,
+    n_active: int = 2,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, Hyperbox]:
+    """Uniform points with y = 1 exactly inside a planted axis box.
+
+    The box restricts the first ``n_active`` dimensions to
+    ``[lower, upper]``; optional label noise flips a share of labels.
+    """
+    gen = np.random.default_rng(seed)
+    x = gen.random((n, dim))
+    inside = ((x[:, :n_active] >= lower) & (x[:, :n_active] <= upper)).all(axis=1)
+    y = inside.astype(np.int64)
+    if noise > 0:
+        flips = gen.random(n) < noise
+        y = np.where(flips, 1 - y, y)
+    bounds_lo = np.full(dim, -np.inf)
+    bounds_hi = np.full(dim, np.inf)
+    bounds_lo[:n_active] = lower
+    bounds_hi[:n_active] = upper
+    return x, y, Hyperbox(bounds_lo, bounds_hi)

@@ -1,0 +1,115 @@
+"""Tests for active-learning REDS."""
+
+import numpy as np
+import pytest
+
+from repro.core.active import STRATEGIES, active_reds
+from repro.subgroup.prim import prim_peel
+
+
+def _oracle(x: np.ndarray) -> np.ndarray:
+    """Planted box on the first two dims."""
+    return ((x[:, :2] >= 0.2) & (x[:, :2] <= 0.6)).all(axis=1).astype(float)
+
+
+def _sd(x, y):
+    return prim_peel(x, y, alpha=0.1)
+
+
+class TestValidation:
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError):
+            active_reds(_oracle, 3, _sd, strategy="entropy", rng=rng)
+
+    def test_budget_below_initial(self, rng):
+        with pytest.raises(ValueError):
+            active_reds(_oracle, 3, _sd, initial=100, budget=50, rng=rng)
+
+    def test_bad_batch(self, rng):
+        with pytest.raises(ValueError):
+            active_reds(_oracle, 3, _sd, batch=0, rng=rng)
+
+    def test_tiny_initial(self, rng):
+        with pytest.raises(ValueError):
+            active_reds(_oracle, 3, _sd, initial=1, budget=10, rng=rng)
+
+
+class TestLoop:
+    def test_respects_budget_exactly(self, rng):
+        result = active_reds(
+            _oracle, 3, _sd, initial=40, budget=100, batch=30,
+            candidate_pool=500, n_new=1000, rng=rng)
+        assert len(result.x) == 100
+        assert len(result.y) == 100
+
+    def test_partial_last_batch(self, rng):
+        result = active_reds(
+            _oracle, 3, _sd, initial=40, budget=95, batch=30,
+            candidate_pool=500, n_new=1000, rng=rng)
+        assert len(result.x) == 95
+
+    def test_no_queries_when_budget_equals_initial(self, rng):
+        result = active_reds(
+            _oracle, 3, _sd, initial=50, budget=50,
+            candidate_pool=500, n_new=1000, rng=rng)
+        assert len(result.x) == 50
+        assert result.acquisition_history == []
+
+    def test_uncertainty_targets_boundary(self, rng):
+        """Uncertainty-sampled queries sit closer to the decision
+        boundary than random ones (lower |p - 0.5|)."""
+        uncertain = active_reds(
+            _oracle, 3, _sd, initial=60, budget=160, batch=50,
+            strategy="uncertainty", candidate_pool=2000, n_new=1000,
+            rng=np.random.default_rng(0))
+        random = active_reds(
+            _oracle, 3, _sd, initial=60, budget=160, batch=50,
+            strategy="random", candidate_pool=2000, n_new=1000,
+            rng=np.random.default_rng(0))
+        assert (np.mean(uncertain.acquisition_history)
+                < np.mean(random.acquisition_history))
+
+    def test_sd_output_is_prim_result(self, rng):
+        result = active_reds(
+            _oracle, 3, _sd, initial=50, budget=120, batch=35,
+            candidate_pool=800, n_new=2000, rng=rng)
+        assert hasattr(result.sd_output, "chosen_box")
+        assert result.sd_output.chosen_box.dim == 3
+
+    def test_soft_labels_mode(self, rng):
+        captured = {}
+        def capture_sd(x, y):
+            captured["y"] = y
+            return prim_peel(x, y, alpha=0.1)
+        active_reds(_oracle, 3, capture_sd, initial=60, budget=60,
+                    soft_labels=True, n_new=800, rng=rng)
+        assert len(np.unique(captured["y"])) > 2
+
+    def test_custom_sampler_used_everywhere(self, rng):
+        def half_cube(n, m, gen):
+            return gen.random((n, m)) * 0.5
+        result = active_reds(
+            _oracle, 2, _sd, initial=40, budget=80, batch=20,
+            sampler=half_cube, candidate_pool=400, n_new=500, rng=rng)
+        assert result.x.max() <= 0.5
+
+    def test_strategies_registry(self):
+        assert set(STRATEGIES) == {"uncertainty", "random"}
+
+
+class TestQuality:
+    def test_active_budget_finds_good_box(self):
+        """With a tight budget the active loop locates the planted box
+        well (precision and recall both high on fresh data)."""
+        result = active_reds(
+            _oracle, 4, _sd, initial=80, budget=240, batch=40,
+            strategy="uncertainty", candidate_pool=3000, n_new=5000,
+            rng=np.random.default_rng(1))
+        grid = np.random.default_rng(2).random((4000, 4))
+        truth = _oracle(grid)
+        inside = result.sd_output.chosen_box.contains(grid)
+        covered = float(truth[inside].sum())
+        precision = covered / max(inside.sum(), 1)
+        recall = covered / max(truth.sum(), 1)
+        assert precision > 0.6
+        assert recall > 0.4

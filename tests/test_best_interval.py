@@ -1,0 +1,150 @@
+"""Tests for the BestInterval algorithm."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.subgroup.best_interval import (
+    best_interval,
+    best_interval_for_dim,
+    wracc,
+    _max_sum_run,
+)
+from repro.subgroup.box import Hyperbox
+from tests.conftest import planted_box_data
+
+
+def brute_force_best_interval(x_vals: np.ndarray, y: np.ndarray) -> float:
+    """Exhaustive best WRAcc over all closed intervals of observed values."""
+    base = y.mean()
+    values = np.unique(x_vals)
+    best = -np.inf
+    for lo, hi in itertools.combinations_with_replacement(values, 2):
+        mask = (x_vals >= lo) & (x_vals <= hi)
+        score = (y[mask] - base).sum() / len(y)
+        best = max(best, score)
+    return best
+
+
+class TestKadane:
+    def test_single_element(self):
+        assert _max_sum_run(np.array([3.0])) == (0, 0, 3.0)
+
+    def test_all_negative_picks_least_bad(self):
+        start, end, total = _max_sum_run(np.array([-5.0, -1.0, -3.0]))
+        assert (start, end, total) == (1, 1, -1.0)
+
+    def test_classic_case(self):
+        sums = np.array([-2.0, 1.0, -3.0, 4.0, -1.0, 2.0, 1.0, -5.0, 4.0])
+        start, end, total = _max_sum_run(sums)
+        assert total == pytest.approx(6.0)
+        assert (start, end) == (3, 6)
+
+
+class TestBestIntervalForDim:
+    def test_matches_brute_force_on_random_data(self):
+        gen = np.random.default_rng(0)
+        for trial in range(20):
+            x = gen.random((60, 1))
+            y = gen.integers(0, 2, 60).astype(float)
+            refined = best_interval_for_dim(x, y, Hyperbox.unrestricted(1), 0)
+            expected = brute_force_best_interval(x[:, 0], y)
+            assert wracc(refined, x, y) == pytest.approx(expected, abs=1e-12)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(10, 80))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_property(self, seed, n):
+        gen = np.random.default_rng(seed)
+        x = np.round(gen.random((n, 1)), 1)  # duplicates on purpose
+        y = gen.integers(0, 2, n).astype(float)
+        refined = best_interval_for_dim(x, y, Hyperbox.unrestricted(1), 0)
+        expected = brute_force_best_interval(x[:, 0], y)
+        assert wracc(refined, x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_respects_other_dimensions(self):
+        """Points outside the box on other dims must not be considered."""
+        x = np.array([[0.1, 0.0], [0.2, 0.0], [0.3, 1.0], [0.4, 1.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        box = Hyperbox.unrestricted(2).replace(1, lower=0.5)  # keeps rows 2,3
+        refined = best_interval_for_dim(x, y, box, 0)
+        # Within the box every point is positive: the best interval spans
+        # all of them, so dim 0 stays unrestricted.
+        assert not np.isfinite(refined.lower[0])
+        assert not np.isfinite(refined.upper[0])
+
+    def test_extreme_run_keeps_side_unbounded(self):
+        """Intervals touching the data extremes stay open-ended."""
+        x = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (x[:, 0] > 0.6).astype(float)
+        refined = best_interval_for_dim(x, y, Hyperbox.unrestricted(1), 0)
+        assert np.isfinite(refined.lower[0])
+        assert not np.isfinite(refined.upper[0])
+
+    def test_interior_interval_has_both_bounds(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = ((x[:, 0] > 0.4) & (x[:, 0] < 0.6)).astype(float)
+        refined = best_interval_for_dim(x, y, Hyperbox.unrestricted(1), 0)
+        assert np.isfinite(refined.lower[0]) and np.isfinite(refined.upper[0])
+        assert 0.35 < refined.lower[0] < 0.45
+        assert 0.55 < refined.upper[0] < 0.65
+
+    def test_soft_labels(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = np.where(x[:, 0] > 0.5, 0.9, 0.1)
+        refined = best_interval_for_dim(x, y, Hyperbox.unrestricted(1), 0)
+        assert 0.45 < refined.lower[0] < 0.55
+
+
+class TestWRAcc:
+    def test_unrestricted_box_is_zero(self, rng):
+        x = rng.random((100, 2))
+        y = rng.integers(0, 2, 100).astype(float)
+        assert wracc(Hyperbox.unrestricted(2), x, y) == pytest.approx(0.0)
+
+    def test_hand_computed_value(self):
+        # 10 points, 4 positives; box covers 5 points with 4 positives.
+        x = np.array([[i / 10] for i in range(10)])
+        y = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0], dtype=float)
+        box = Hyperbox.unrestricted(1).replace(0, upper=0.45)
+        # n/N = 5/10, n+/n = 4/5, N+/N = 0.4 -> 0.5 * (0.8 - 0.4) = 0.2
+        assert wracc(box, x, y) == pytest.approx(0.2)
+
+    def test_empty_box_is_zero(self, rng):
+        box = Hyperbox.unrestricted(2).replace(0, lower=2.0, upper=3.0)
+        assert wracc(box, rng.random((50, 2)), np.ones(50)) == 0.0
+
+
+class TestBeamSearch:
+    def test_rejects_bad_beam(self, rng):
+        with pytest.raises(ValueError):
+            best_interval(rng.random((30, 2)), np.zeros(30), beam_size=0)
+
+    def test_finds_planted_box(self):
+        x, y, box = planted_box_data(1500, 3, seed=20)
+        result = best_interval(x, y)
+        # Active dims restricted close to the truth, inactive dim free.
+        assert result.box.n_restricted == 2
+        assert result.wracc > 0.8 * wracc(box, x, y)
+
+    def test_depth_limits_restrictions(self):
+        x, y, _ = planted_box_data(800, 4, n_active=2, seed=21)
+        result = best_interval(x, y, depth=1)
+        assert result.box.n_restricted <= 1
+
+    def test_beam_size_never_hurts_training_wracc(self):
+        x, y, _ = planted_box_data(600, 4, noise=0.15, seed=22)
+        narrow = best_interval(x, y, beam_size=1)
+        wide = best_interval(x, y, beam_size=5)
+        assert wide.wracc >= narrow.wracc - 1e-12
+
+    def test_all_negative_labels_returns_valid_box(self, rng):
+        x = rng.random((100, 3))
+        result = best_interval(x, np.zeros(100))
+        assert result.wracc <= 1e-12
+
+    def test_converges_within_cap(self):
+        x, y, _ = planted_box_data(500, 3, seed=23)
+        result = best_interval(x, y, max_iterations=50)
+        assert result.n_iterations < 50

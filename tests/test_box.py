@@ -1,0 +1,142 @@
+"""Tests for the Hyperbox scenario representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.subgroup.box import Hyperbox
+
+
+def _box(lo, hi):
+    return Hyperbox(np.array(lo, dtype=float), np.array(hi, dtype=float))
+
+
+class TestConstruction:
+    def test_unrestricted(self):
+        box = Hyperbox.unrestricted(3)
+        assert box.dim == 3
+        assert box.n_restricted == 0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            _box([0.5, 0.0], [0.4, 1.0])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            Hyperbox(np.zeros(2), np.ones(3))
+
+    def test_immutable(self):
+        box = Hyperbox.unrestricted(2)
+        with pytest.raises(ValueError):
+            box.lower[0] = 0.0
+
+    def test_replace_returns_new_box(self):
+        box = Hyperbox.unrestricted(2)
+        refined = box.replace(0, lower=0.1, upper=0.9)
+        assert box.n_restricted == 0
+        assert refined.n_restricted == 1
+        assert refined.lower[0] == 0.1
+
+    def test_repr_mentions_restrictions(self):
+        box = _box([-np.inf, 0.2], [np.inf, 0.8])
+        assert "a2" in repr(box)
+        assert "a1" not in repr(box)
+
+
+class TestMembership:
+    def test_contains_basic(self):
+        box = _box([0.2, -np.inf], [0.6, np.inf])
+        x = np.array([[0.3, 5.0], [0.1, 0.0], [0.6, -3.0]])
+        np.testing.assert_array_equal(box.contains(x), [True, False, True])
+
+    def test_boundaries_inclusive(self):
+        box = _box([0.2], [0.6])
+        x = np.array([[0.2], [0.6]])
+        assert box.contains(x).all()
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Hyperbox.unrestricted(3).contains(rng.random((4, 2)))
+
+    def test_unrestricted_contains_everything(self, rng):
+        assert Hyperbox.unrestricted(4).contains(rng.random((100, 4)) * 100).all()
+
+
+class TestRestrictedDims:
+    def test_counts_each_dim_once(self):
+        box = _box([0.1, -np.inf, 0.0], [0.9, 0.5, np.inf])
+        # dim 0 both sides, dim 1 upper only, dim 2 lower only.
+        assert box.n_restricted == 3
+
+    def test_restricted_dims_indices(self):
+        box = _box([-np.inf, 0.2, -np.inf], [np.inf, np.inf, 0.7])
+        np.testing.assert_array_equal(box.restricted_dims, [1, 2])
+
+
+class TestVolume:
+    def test_unit_cube_reference(self):
+        assert Hyperbox.unrestricted(3).volume() == pytest.approx(1.0)
+
+    def test_half_interval(self):
+        box = _box([0.0, 0.25], [1.0, 0.75])
+        assert box.volume() == pytest.approx(0.5)
+
+    def test_clipping_of_infinite_bounds(self):
+        box = _box([-np.inf, 0.5], [np.inf, np.inf])
+        assert box.volume() == pytest.approx(0.5)
+
+    def test_custom_reference(self):
+        box = _box([0.0], [5.0])
+        vol = box.volume(reference_lower=np.array([0.0]),
+                         reference_upper=np.array([10.0]))
+        assert vol == pytest.approx(0.5)
+
+    def test_discrete_levels(self):
+        levels = np.array([0.1, 0.3, 0.5, 0.7, 0.9])
+        box = _box([0.25, 0.0], [0.75, 1.0])
+        vol = box.volume(discrete_levels={0: levels})
+        assert vol == pytest.approx(3 / 5)  # covers 0.3, 0.5, 0.7
+
+    def test_degenerate_box_zero_volume(self):
+        assert _box([0.5], [0.5]).volume() == pytest.approx(0.0)
+
+
+class TestIntersection:
+    def test_overlap(self):
+        a = _box([0.0, 0.0], [0.6, 0.6])
+        b = _box([0.4, 0.4], [1.0, 1.0])
+        inter = a.intersection(b)
+        np.testing.assert_allclose(inter.lower, [0.4, 0.4])
+        np.testing.assert_allclose(inter.upper, [0.6, 0.6])
+
+    def test_disjoint_returns_none(self):
+        a = _box([0.0], [0.3])
+        b = _box([0.5], [0.9])
+        assert a.intersection(b) is None
+
+    def test_self_intersection_is_identity(self):
+        a = _box([0.1, 0.2], [0.8, 0.9])
+        inter = a.intersection(a)
+        assert inter.key() == a.key()
+
+
+class TestProperties:
+    @given(
+        lows=st.lists(st.floats(0, 0.45), min_size=1, max_size=5),
+        widths=st.lists(st.floats(0.05, 0.5), min_size=1, max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_volume_of_intersection_never_exceeds_either(self, lows, widths):
+        dim = min(len(lows), len(widths))
+        a = _box(lows[:dim], [lo + w for lo, w in zip(lows[:dim], widths[:dim])])
+        b = Hyperbox.unrestricted(dim).replace(0, lower=0.2, upper=0.8)
+        inter = a.intersection(b)
+        if inter is not None:
+            assert inter.volume() <= min(a.volume(), b.volume()) + 1e-12
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_unrestricted_key_roundtrip(self, dim):
+        a = Hyperbox.unrestricted(dim)
+        b = Hyperbox.unrestricted(dim)
+        assert a.key() == b.key()

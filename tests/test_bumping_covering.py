@@ -1,0 +1,136 @@
+"""Tests for PRIM with bumping and the covering approach."""
+
+import numpy as np
+import pytest
+
+from repro.subgroup.box import Hyperbox
+from repro.subgroup.bumping import pareto_front, prim_bumping
+from repro.subgroup.covering import covering
+from repro.subgroup.prim import prim_peel
+from tests.conftest import planted_box_data
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front(np.array([[0.5, 0.5]])).tolist() == [0]
+
+    def test_dominated_point_removed(self):
+        points = np.array([[0.9, 0.9], [0.5, 0.5]])
+        assert pareto_front(points).tolist() == [0]
+
+    def test_incomparable_points_kept(self):
+        points = np.array([[0.9, 0.1], [0.1, 0.9], [0.5, 0.5]])
+        assert sorted(pareto_front(points).tolist()) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        points = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert len(pareto_front(points)) == 2
+
+    def test_strict_dominance_definition(self):
+        """Equal on all measures = no dominance (Definition 1)."""
+        points = np.array([[0.5, 0.5], [0.5, 0.6]])
+        assert pareto_front(points).tolist() == [1]
+
+
+class TestBumping:
+    def test_returns_nondominated_sorted_by_recall(self):
+        x, y, _ = planted_box_data(600, 3, noise=0.1, seed=30)
+        result = prim_bumping(x, y, n_repeats=10, rng=np.random.default_rng(0))
+        assert len(result) >= 1
+        assert (np.diff(result.recalls) <= 1e-12).all()
+
+    def test_trajectory_anchored_at_full_recall(self):
+        """The front starts at the unrestricted-box anchor (Figure 5's A)."""
+        x, y, _ = planted_box_data(600, 3, noise=0.1, seed=30)
+        result = prim_bumping(x, y, n_repeats=10, rng=np.random.default_rng(0))
+        assert result.recalls[0] == pytest.approx(1.0)
+        assert result.precisions[0] <= y.mean() + 1e-9
+
+    def test_front_is_pareto_optimal_beyond_anchor(self):
+        x, y, _ = planted_box_data(600, 3, noise=0.1, seed=31)
+        result = prim_bumping(x, y, n_repeats=10, rng=np.random.default_rng(1))
+        # Skip the anchor box (index 0) if it was inserted: the rest
+        # must be mutually non-dominated.
+        start = 1 if result.boxes[0].n_restricted == 0 else 0
+        points = np.column_stack([result.precisions, result.recalls])[start:]
+        assert len(pareto_front(points)) == len(points)
+
+    def test_chosen_is_highest_precision(self):
+        x, y, _ = planted_box_data(600, 3, seed=32)
+        result = prim_bumping(x, y, n_repeats=8, rng=np.random.default_rng(2))
+        assert result.precisions[result.chosen] == result.precisions.max()
+
+    def test_feature_subsets_leave_other_dims_unrestricted(self):
+        x, y, _ = planted_box_data(400, 6, n_active=2, seed=33)
+        result = prim_bumping(x, y, n_repeats=6, n_features=2,
+                              rng=np.random.default_rng(3))
+        for box in result.boxes:
+            assert box.n_restricted <= 2
+
+    def test_mismatched_validation_rejected(self, rng):
+        x, y, _ = planted_box_data(100, 2, seed=34)
+        with pytest.raises(ValueError):
+            prim_bumping(x, y, x_val=rng.random((10, 2)))
+
+    def test_reproducible_with_seeded_rng(self):
+        x, y, _ = planted_box_data(300, 3, seed=35)
+        a = prim_bumping(x, y, n_repeats=5, rng=np.random.default_rng(9))
+        b = prim_bumping(x, y, n_repeats=5, rng=np.random.default_rng(9))
+        assert [bx.key() for bx in a.boxes] == [bx.key() for bx in b.boxes]
+
+    def test_beats_or_matches_single_prim_on_front(self):
+        """The bumping front must contain a box at least as precise as
+        plain PRIM's chosen box at comparable recall (on train data)."""
+        x, y, _ = planted_box_data(800, 4, noise=0.1, seed=36)
+        plain = prim_peel(x, y)
+        front = prim_bumping(x, y, n_repeats=20, rng=np.random.default_rng(4))
+        assert front.precisions.max() >= plain.val_means[plain.chosen] - 0.05
+
+
+class TestCovering:
+    @staticmethod
+    def _two_cluster_data(seed: int = 0):
+        gen = np.random.default_rng(seed)
+        x = gen.random((1500, 2))
+        in_a = ((x >= 0.05) & (x <= 0.3)).all(axis=1)
+        in_b = ((x >= 0.7) & (x <= 0.95)).all(axis=1)
+        return x, (in_a | in_b).astype(float)
+
+    def _discover(self, x, y):
+        result = prim_peel(x, y)
+        return result.chosen_box
+
+    def test_finds_multiple_subgroups(self):
+        x, y = self._two_cluster_data()
+        boxes = covering(x, y, self._discover, n_subgroups=2)
+        assert len(boxes) == 2
+        # The two boxes should cover different clusters.
+        first_covers_a = boxes[0].contains(np.array([[0.15, 0.15]]))[0]
+        second_covers_b = boxes[1].contains(np.array([[0.85, 0.85]]))[0]
+        first_covers_b = boxes[0].contains(np.array([[0.85, 0.85]]))[0]
+        assert first_covers_a != first_covers_b
+        assert second_covers_b or boxes[1].contains(np.array([[0.15, 0.15]]))[0]
+
+    def test_stops_when_no_positives_left(self):
+        gen = np.random.default_rng(1)
+        x = gen.random((300, 2))
+        y = np.zeros(300)
+        y[:3] = 1  # fewer than min_positives after first removal
+        boxes = covering(x, y, self._discover, n_subgroups=5, min_positives=4)
+        assert len(boxes) == 0
+
+    def test_respects_n_subgroups(self):
+        x, y = self._two_cluster_data(2)
+        boxes = covering(x, y, self._discover, n_subgroups=1)
+        assert len(boxes) == 1
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            covering(rng.random((10, 2)), np.zeros(5), self._discover)
+
+    def test_unrestricted_result_stops(self):
+        gen = np.random.default_rng(3)
+        x = gen.random((200, 2))
+        y = np.ones(200)  # PRIM keeps the full box: mean is already 1
+        boxes = covering(x, y, lambda a, b: Hyperbox.unrestricted(2))
+        assert boxes == []

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_models_parses(self):
+        args = build_parser().parse_args(["list-models"])
+        assert args.command == "list-models"
+
+    def test_discover_defaults(self):
+        args = build_parser().parse_args(
+            ["discover", "--function", "ishigami"])
+        assert args.method == "RPx"
+        assert args.n == 400
+        assert not args.no_tune
+
+    def test_compare_method_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--function", "morris", "--methods", "P, RPx"])
+        assert args.methods == "P, RPx"
+
+    def test_discover_requires_function(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover"])
+
+
+class TestCommands:
+    def test_list_models_output(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "borehole" in out
+        assert "dsgc" in out
+        assert "share %" in out
+
+    def test_discover_runs_end_to_end(self, capsys):
+        code = main([
+            "discover", "--function", "willetal06", "--method", "P",
+            "--n", "150", "--test-size", "2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PR AUC" in out
+        assert "scenario:" in out
+        assert "peeling trajectory" in out
+
+    def test_discover_reds_no_tune(self, capsys):
+        code = main([
+            "discover", "--function", "willetal06", "--method", "RPf",
+            "--n", "150", "--n-new", "1000", "--no-tune",
+            "--test-size", "2000",
+        ])
+        assert code == 0
+        assert "RPf" in capsys.readouterr().out
+
+    def test_compare_prints_table(self, capsys):
+        code = main([
+            "compare", "--function", "willetal06", "--methods", "P,BI",
+            "--n", "150", "--reps", "2", "--no-tune",
+            "--test-size", "2000", "--n-new", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PR AUC %" in out
+        assert "runtime s" in out

@@ -1,0 +1,124 @@
+"""Tests for the SimulationModel abstraction and dataset creation."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import SimulationModel, make_dataset
+
+
+def _linear_model(**overrides) -> SimulationModel:
+    params = dict(
+        name="toy",
+        dim=2,
+        relevant=(0,),
+        kind="real",
+        raw=lambda x: x[:, 0],
+        threshold=0.5,
+    )
+    params.update(overrides)
+    return SimulationModel(**params)
+
+
+class TestValidation:
+    def test_requires_threshold_for_real(self):
+        with pytest.raises(ValueError, match="threshold"):
+            _linear_model(threshold=None)
+
+    def test_rejects_bad_relevant_index(self):
+        with pytest.raises(ValueError, match="relevant"):
+            _linear_model(relevant=(5,))
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            _linear_model(dim=0, relevant=())
+
+    def test_rejects_bad_domain_shape(self):
+        with pytest.raises(ValueError, match="domain"):
+            _linear_model(domain=np.zeros((3, 2)))
+
+    def test_rejects_inverted_domain(self):
+        with pytest.raises(ValueError, match="upper"):
+            _linear_model(domain=np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+
+class TestScaling:
+    def test_identity_without_domain(self):
+        model = _linear_model()
+        u = np.array([[0.2, 0.8]])
+        np.testing.assert_array_equal(model.scale(u), u)
+
+    def test_affine_with_domain(self):
+        model = _linear_model(domain=np.array([[10.0, -1.0], [20.0, 1.0]]))
+        u = np.array([[0.0, 0.5], [1.0, 1.0]])
+        np.testing.assert_allclose(model.scale(u), [[10.0, 0.0], [20.0, 1.0]])
+
+    def test_scale_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="expected shape"):
+            _linear_model().scale(np.zeros((3, 5)))
+
+
+class TestLabels:
+    def test_real_model_binarises_below_threshold(self):
+        model = _linear_model()
+        u = np.array([[0.2, 0.0], [0.9, 0.0]])
+        np.testing.assert_array_equal(model.label(u), [1, 0])
+
+    def test_binary_model_passthrough(self):
+        model = _linear_model(
+            kind="binary", threshold=None,
+            raw=lambda x: (x[:, 0] > 0.5).astype(float),
+        )
+        u = np.array([[0.2, 0.0], [0.9, 0.0]])
+        np.testing.assert_array_equal(model.label(u), [0, 1])
+
+    def test_prob_model_requires_rng(self):
+        model = _linear_model(kind="prob", threshold=None, raw=lambda x: x[:, 0])
+        with pytest.raises(ValueError, match="rng"):
+            model.label(np.array([[0.5, 0.5]]))
+
+    def test_prob_model_labels_are_bernoulli(self, rng):
+        model = _linear_model(kind="prob", threshold=None,
+                              raw=lambda x: np.full(len(x), 0.7))
+        labels = model.label(rng.random((20_000, 2)), rng)
+        assert set(np.unique(labels)) <= {0, 1}
+        assert abs(labels.mean() - 0.7) < 0.02
+
+    def test_prob_clipped_to_unit_interval(self):
+        model = _linear_model(kind="prob", threshold=None,
+                              raw=lambda x: x[:, 0] * 3 - 1)
+        p = model.prob(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert p.min() >= 0.0 and p.max() <= 1.0
+
+    def test_share_estimates_positive_rate(self):
+        model = _linear_model()  # y=1 iff x0 < 0.5 => share 0.5
+        assert abs(model.share(50_000) - 0.5) < 0.01
+
+
+class TestProperties:
+    def test_n_relevant_and_irrelevant(self):
+        model = _linear_model(dim=4, relevant=(0, 2),
+                              raw=lambda x: x[:, 0] + x[:, 2])
+        assert model.n_relevant == 2
+        assert model.irrelevant == (1, 3)
+
+
+class TestMakeDataset:
+    def test_shapes_and_types(self, rng):
+        x, y = make_dataset(_linear_model(), 64, rng)
+        assert x.shape == (64, 2)
+        assert y.shape == (64,)
+        assert y.dtype == np.int64
+
+    def test_uses_unit_cube_coordinates(self, rng):
+        model = _linear_model(domain=np.array([[100.0, 100.0], [200.0, 200.0]]))
+        x, _ = make_dataset(model, 32, rng)
+        assert (x >= 0).all() and (x <= 1).all()
+
+    def test_sampler_override(self, rng):
+        x, _ = make_dataset(_linear_model(), 32, rng, sampler="halton")
+        assert x.shape == (32, 2)
+
+    def test_default_lhs_stratified(self, rng):
+        x, _ = make_dataset(_linear_model(), 50, rng)
+        strata = np.floor(x[:, 0] * 50).astype(int)
+        assert len(np.unique(strata)) == 50

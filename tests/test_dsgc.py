@@ -1,0 +1,65 @@
+"""Tests for the decentral smart grid control simulation."""
+
+import numpy as np
+import pytest
+
+from repro.data.dsgc import DSGC_DIM, dsgc_unstable, simulate_dsgc
+
+
+def _inputs(tau: float, gamma: float, n: int = 4) -> np.ndarray:
+    """Unit-cube inputs with homogeneous tau and gamma.
+
+    tau, gamma given in unit-cube coordinates (0 = range minimum).
+    """
+    u = np.full((n, DSGC_DIM), 0.5)
+    u[:, 0:4] = tau
+    u[:, 7:11] = gamma
+    return u
+
+
+class TestPhysics:
+    def test_fast_weak_control_is_stable(self):
+        """Small delay + small elasticity: damping wins, grid stable."""
+        labels = dsgc_unstable(_inputs(tau=0.0, gamma=0.0))
+        assert (labels == 0).all()
+
+    def test_slow_strong_control_is_unstable(self):
+        """Delay ~10 s with strong elasticity destabilises the grid."""
+        labels = dsgc_unstable(_inputs(tau=1.0, gamma=1.0))
+        assert (labels == 1).all()
+
+    def test_delay_monotonicity_in_the_bulk(self):
+        """Longer reaction delays should not stabilise a strong controller."""
+        gentle = simulate_dsgc(_inputs(tau=0.05, gamma=0.9, n=1))
+        harsh = simulate_dsgc(_inputs(tau=0.95, gamma=0.9, n=1))
+        assert harsh[0] > gentle[0]
+
+    def test_share_near_paper_value(self, rng):
+        labels = dsgc_unstable(rng.random((1500, DSGC_DIM)))
+        assert 0.45 < labels.mean() < 0.62  # paper: 53.7 %
+
+
+class TestInterface:
+    def test_rejects_wrong_width(self, rng):
+        with pytest.raises(ValueError):
+            dsgc_unstable(rng.random((4, DSGC_DIM - 1)))
+
+    def test_deterministic(self, rng):
+        u = rng.random((16, DSGC_DIM))
+        np.testing.assert_array_equal(dsgc_unstable(u), dsgc_unstable(u))
+
+    def test_labels_binary(self, rng):
+        labels = dsgc_unstable(rng.random((32, DSGC_DIM)))
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_chunking_invariant(self, rng, monkeypatch):
+        """Results must not depend on the internal batch size."""
+        import repro.data.dsgc as mod
+        u = rng.random((10, DSGC_DIM))
+        full = simulate_dsgc(u)
+        monkeypatch.setattr(mod, "_CHUNK", 3)
+        chunked = simulate_dsgc(u)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_amplification_positive(self, rng):
+        assert (simulate_dsgc(rng.random((8, DSGC_DIM))) > 0).all()

@@ -1,0 +1,84 @@
+"""Reproduction of Example 5.1: why PRIM's interactivity matters.
+
+The paper's Section 5 example: output probability
+``f(a) = 1`` on [0, 1), ``a - 1`` on [1, 2], ``0`` on (2, h].  Two
+intervals are interesting — [0, 1] (precision 1) and [0, 2] (full
+recall) — and which of them maximises WRAcc flips at ``h = 3``:
+``WRAcc([0,1]) > WRAcc([0,2])  iff  h < 3``.  BI therefore returns a
+box that depends on the arbitrary input range ``h``, while PRIM's
+nested trajectory exposes both intervals regardless of ``h``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.subgroup.best_interval import best_interval
+from repro.subgroup.prim import prim_peel
+
+
+def _example_f(a: np.ndarray) -> np.ndarray:
+    return np.clip(np.where(a < 1.0, 1.0, a - 1.0) * (a <= 2.0), 0.0, 1.0)
+
+
+def _wracc_interval(lo: float, hi: float, h: float) -> float:
+    """Analytic WRAcc of [lo, hi] under uniform a ~ U[0, h], N -> inf.
+
+    With soft output f, WRAcc = (P(in) * mean_in - P(in) * mean_all)
+    where means are of f.  E[f] over [0,h] = 1.5 / h.
+    """
+    mass = (hi - lo) / h
+    # integral of f over [lo, hi] for 0 <= lo <= hi <= 2.
+    def integral(t):
+        # f = 1 on [0,1), f = t-1 on [1,2]: cumulative integral.
+        if t <= 1.0:
+            return t
+        return 1.0 + (t - 1.0) ** 2 / 2.0
+    mean_in = (integral(hi) - integral(lo)) / (hi - lo)
+    return mass * (mean_in - 1.5 / h)
+
+
+class TestAnalyticCrossover:
+    def test_paper_formulas(self):
+        """WRAcc([0,1]) = 1/h - 1.5/h^2 and WRAcc([0,2]) = 1.5/h - 3/h^2."""
+        for h in (2.5, 3.0, 4.0, 6.0):
+            assert _wracc_interval(0, 1, h) == pytest.approx(1 / h - 1.5 / h**2)
+            assert _wracc_interval(0, 2, h) == pytest.approx(1.5 / h - 3 / h**2)
+
+    def test_crossover_at_three(self):
+        assert _wracc_interval(0, 1, 2.5) > _wracc_interval(0, 2, 2.5)
+        assert _wracc_interval(0, 1, 4.0) < _wracc_interval(0, 2, 4.0)
+        assert _wracc_interval(0, 1, 3.0) == pytest.approx(
+            _wracc_interval(0, 2, 3.0))
+
+
+class TestEmpiricalBehaviour:
+    @staticmethod
+    def _sample(h: float, n: int = 40_000, seed: int = 0):
+        gen = np.random.default_rng(seed)
+        a = gen.random(n) * h
+        y = (gen.random(n) < _example_f(a)).astype(float)
+        return a.reshape(-1, 1) / h, y  # unit-cube coordinates
+
+    def test_bi_output_depends_on_h(self):
+        """BI's box flips between ~[0,1] and ~[0,2] as h crosses 3."""
+        for h, expected_hi in ((2.2, 1.0), (6.0, 2.0)):
+            x, y = self._sample(h)
+            result = best_interval(x, y)
+            upper_native = result.box.upper[0] * h
+            assert upper_native == pytest.approx(expected_hi, abs=0.25), (
+                f"h={h}: BI upper bound {upper_native}")
+
+    def test_prim_trajectory_contains_both_intervals(self):
+        """PRIM exposes boxes close to [0,2] AND [0,1] in one run,
+        independent of h — the paper's argument for interactivity."""
+        for h in (2.2, 6.0):
+            x, y = self._sample(h, seed=1)
+            result = prim_peel(x, y, alpha=0.05)
+            uppers = np.array([
+                box.upper[0] * h if np.isfinite(box.upper[0]) else h
+                for box in result.boxes
+            ])
+            # Some box ends near 2 (all interesting mass)...
+            assert np.min(np.abs(uppers - 2.0)) < 0.25, f"h={h}"
+            # ...and a deeper box ends near 1 (the pure region).
+            assert np.min(np.abs(uppers - 1.0)) < 0.25, f"h={h}"

@@ -1,0 +1,179 @@
+"""Tests for the Table 1 function library and registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ALL_FUNCTIONS,
+    MIXED_INPUT_FUNCTIONS,
+    TABLE1,
+    THIRD_PARTY,
+    get_model,
+    third_party_dataset,
+)
+from repro.data.registry import _TABLE1_BY_NAME  # noqa: internal check
+from repro.data.saltelli import morris, sobol_g
+from repro.data.surjanovic import borehole, BOREHOLE_DOMAIN, ishigami
+
+# Functions cheap enough to check with Monte Carlo in a unit test.
+_CHEAP = [name for name in ALL_FUNCTIONS if name != "dsgc"]
+
+
+class TestRegistry:
+    def test_all_functions_count_matches_paper(self):
+        # "We experiment with all 33 functions" (Section 9.1).
+        assert len(ALL_FUNCTIONS) == 33
+
+    def test_mixed_excludes_dsgc(self):
+        assert "dsgc" not in MIXED_INPUT_FUNCTIONS
+        assert len(MIXED_INPUT_FUNCTIONS) == 32
+
+    def test_third_party_names(self):
+        assert THIRD_PARTY == ("TGL", "lake")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_model("not-a-function")
+
+    def test_third_party_not_available_as_model(self):
+        with pytest.raises(KeyError):
+            get_model("TGL")
+
+    @pytest.mark.parametrize("name", _CHEAP)
+    def test_dimensions_match_table1(self, name):
+        entry = _TABLE1_BY_NAME[name]
+        model = get_model(name)
+        assert model.dim == entry.dim
+        assert model.n_relevant == entry.n_relevant
+
+    @pytest.mark.parametrize("name", _CHEAP)
+    def test_share_matches_table1(self, name):
+        """Measured share of interesting outcomes tracks Table 1."""
+        entry = _TABLE1_BY_NAME[name]
+        measured = get_model(name).share(30_000)
+        # Published formulas should land close; calibrated surrogates by
+        # construction land very close.  Allow Monte-Carlo noise.
+        tolerance = 0.03 if not entry.calibrated else 0.015
+        assert abs(measured - entry.share) < tolerance, (
+            f"{name}: measured {measured:.3f} vs paper {entry.share:.3f}"
+        )
+
+    @pytest.mark.parametrize("name", _CHEAP)
+    def test_labels_are_binary(self, name, rng):
+        model = get_model(name)
+        labels = model.label(rng.random((256, model.dim)), rng)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    @pytest.mark.parametrize("name", _CHEAP)
+    def test_irrelevant_inputs_do_not_change_output(self, name, rng):
+        """Ground truth of #irrel: inert inputs must truly be inert."""
+        model = get_model(name)
+        if not model.irrelevant:
+            pytest.skip("all inputs relevant")
+        u = rng.random((128, model.dim))
+        v = u.copy()
+        for j in model.irrelevant:
+            v[:, j] = rng.random(128)
+        np.testing.assert_allclose(model.prob(u), model.prob(v), atol=1e-12)
+
+    @pytest.mark.parametrize("name", _CHEAP)
+    def test_relevant_inputs_do_change_output(self, name, rng):
+        """At least one relevant input must influence the output."""
+        model = get_model(name)
+        u = rng.random((512, model.dim))
+        v = u.copy()
+        for j in model.relevant:
+            v[:, j] = rng.random(512)
+        assert not np.allclose(model.prob(u), model.prob(v))
+
+
+class TestKnownValues:
+    def test_borehole_at_domain_center(self):
+        center = BOREHOLE_DOMAIN.mean(axis=0, keepdims=True)
+        value = borehole(center)[0]
+        # The borehole response at mid-domain is around 80 m^3/yr.
+        assert 50 < value < 120
+
+    def test_borehole_monotone_in_pressure_difference(self):
+        center = BOREHOLE_DOMAIN.mean(axis=0, keepdims=True)
+        higher = center.copy()
+        higher[0, 3] = BOREHOLE_DOMAIN[1, 3]  # raise Hu
+        assert borehole(higher)[0] > borehole(center)[0]
+
+    def test_ishigami_at_origin(self):
+        # sin(0) + 7 sin(0)^2 + 0.1*0*sin(0) = 0
+        assert ishigami(np.zeros((1, 3)))[0] == pytest.approx(0.0)
+
+    def test_ishigami_known_point(self):
+        x = np.array([[np.pi / 2, np.pi / 2, 0.0]])
+        assert ishigami(x)[0] == pytest.approx(1.0 + 7.0)
+
+    def test_sobol_g_at_half_vanishes(self):
+        # |4*0.5-2| = 0 and a_1 = 0, so the first factor (and the
+        # product) is exactly zero at the cube centre.
+        assert sobol_g(np.full((1, 8), 0.5))[0] == pytest.approx(0.0)
+
+    def test_sobol_g_mean_is_one(self, rng):
+        values = sobol_g(rng.random((100_000, 8)))
+        assert abs(values.mean() - 1.0) < 0.02
+
+    def test_morris_requires_20_inputs(self, rng):
+        with pytest.raises(ValueError):
+            morris(rng.random((5, 19)))
+
+    def test_morris_first_inputs_dominate(self, rng):
+        """Inputs 1-10 carry weight-20 main effects, 11-20 only +-1."""
+        u = rng.random((2000, 20))
+        v = u.copy()
+        v[:, :10] = rng.random((2000, 10))
+        big_change = np.abs(morris(u) - morris(v)).mean()
+        w = u.copy()
+        w[:, 10:] = rng.random((2000, 10))
+        small_change = np.abs(morris(u) - morris(w)).mean()
+        assert big_change > 5 * small_change
+
+
+class TestNoisyFunctions:
+    @pytest.mark.parametrize("name", ["1", "2", "3", "4", "5", "6", "7", "8", "102"])
+    def test_probabilities_in_unit_interval(self, name, rng):
+        model = get_model(name)
+        p = model.prob(rng.random((512, model.dim)))
+        assert (p >= 0).all() and (p <= 1).all()
+
+    @pytest.mark.parametrize("name", ["1", "2", "3", "7"])
+    def test_noise_is_genuine(self, name, rng):
+        """Near the boundary, probabilities are strictly between 0 and 1."""
+        model = get_model(name)
+        p = model.prob(rng.random((20_000, model.dim)))
+        assert ((p > 0.05) & (p < 0.95)).any()
+
+
+class TestThirdPartyData:
+    def test_tgl_shape_and_share(self):
+        x, y = third_party_dataset("TGL")
+        assert x.shape == (882, 9)
+        assert 0.07 < y.mean() < 0.14  # paper: 10.1 %
+
+    def test_lake_shape_and_share(self):
+        x, y = third_party_dataset("lake")
+        assert x.shape == (1000, 5)
+        assert 0.27 < y.mean() < 0.41  # paper: 33.5 %
+
+    def test_fixed_tables_are_reproducible(self):
+        xa, ya = third_party_dataset("TGL")
+        xb, yb = third_party_dataset("TGL")
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            third_party_dataset("unknown")
+
+
+class TestTable1:
+    def test_has_35_rows(self):
+        assert len(TABLE1) == 35
+
+    def test_shares_are_fractions(self):
+        for entry in TABLE1:
+            assert 0.0 < entry.share < 1.0

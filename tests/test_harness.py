@@ -1,0 +1,156 @@
+"""Tests for the experiment harness, design and report modules."""
+
+import numpy as np
+import pytest
+
+from repro.data import get_model
+from repro.experiments.design import (
+    EXPERIMENTS,
+    FULL,
+    QUICK,
+    BenchScale,
+    scale_from_env,
+)
+from repro.experiments.harness import (
+    aggregate,
+    average_over_functions,
+    discrete_levels_for,
+    evaluate_boxes,
+    get_test_data,
+    make_train_data,
+    reds_sampler_for,
+    run_batch,
+    run_single,
+)
+from repro.experiments import report
+from repro.sampling import MIXED_LEVELS
+
+
+class TestDataGeneration:
+    def test_train_data_shapes(self):
+        model = get_model("ishigami")
+        x, y = make_train_data(model, 100, seed=0)
+        assert x.shape == (100, 3)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_train_reproducible(self):
+        model = get_model("ishigami")
+        xa, ya = make_train_data(model, 50, seed=3)
+        xb, yb = make_train_data(model, 50, seed=3)
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_mixed_variant_discretises_even_columns(self):
+        model = get_model("ishigami")
+        x, _ = make_train_data(model, 200, seed=0, variant="mixed")
+        assert set(np.unique(x[:, 1])).issubset(set(MIXED_LEVELS))
+        assert len(np.unique(x[:, 0])) > 10
+
+    def test_logitnormal_variant_support(self):
+        model = get_model("ishigami")
+        x, _ = make_train_data(model, 200, seed=0, variant="logitnormal")
+        assert (x > 0).all() and (x < 1).all()
+
+    def test_test_data_cached(self):
+        a = get_test_data("ishigami", size=500)
+        b = get_test_data("ishigami", size=500)
+        assert a[0] is b[0]
+
+    def test_reds_sampler_variants(self, rng):
+        assert reds_sampler_for("continuous") is None
+        mixed = reds_sampler_for("mixed")(50, 4, rng)
+        assert set(np.unique(mixed[:, 1])).issubset(set(MIXED_LEVELS))
+        logit = reds_sampler_for("logitnormal")(50, 4, rng)
+        assert (logit > 0).all() and (logit < 1).all()
+
+    def test_discrete_levels_for_mixed(self):
+        model = get_model("ishigami")
+        levels = discrete_levels_for(model, "mixed")
+        assert set(levels) == {1}
+        assert discrete_levels_for(model, "continuous") is None
+
+
+class TestRunAndAggregate:
+    def test_run_single_record(self):
+        record = run_single("ishigami", "P", 150, seed=0, test_size=2000)
+        assert record.function == "ishigami"
+        assert 0.0 <= record.precision <= 1.0
+        assert 0.0 <= record.pr_auc <= 1.0
+        assert record.n_restricted >= 0
+        assert record.runtime > 0
+
+    def test_run_batch_and_aggregate(self):
+        records = run_batch(("ishigami",), ("P", "BI"), 150, 3, test_size=2000)
+        assert len(records) == 6
+        agg = aggregate(records)
+        assert ("ishigami", "P") in agg
+        assert agg[("ishigami", "P")]["n_reps"] == 3
+        assert 0.0 <= agg[("ishigami", "P")]["consistency"] <= 1.0
+
+    def test_average_over_functions(self):
+        records = run_batch(("ishigami", "willetal06"), ("P",), 150, 2,
+                            test_size=2000)
+        rows = average_over_functions(aggregate(records), ("P",))
+        assert "P" in rows
+        assert 0.0 <= rows["P"]["precision"] <= 1.0
+
+    def test_irrelevant_count_uses_ground_truth(self):
+        record = run_single("linketal06sin", "P", 200, seed=0, test_size=2000)
+        # linketal06sin has 8 inert inputs; plain PRIM usually restricts some.
+        assert record.n_irrelevant <= record.n_restricted
+
+
+class TestDesign:
+    def test_scale_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REDS_BENCH_SCALE", raising=False)
+        assert scale_from_env() is QUICK
+
+    def test_scale_full(self, monkeypatch):
+        monkeypatch.setenv("REDS_BENCH_SCALE", "full")
+        assert scale_from_env() is FULL
+
+    def test_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REDS_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+    def test_every_experiment_has_methods(self):
+        for key, config in EXPERIMENTS.items():
+            assert config.methods, key
+            assert config.artefact
+
+    def test_full_scale_matches_paper(self):
+        assert FULL.n_reps == 50
+        assert FULL.n_new_prim == 100_000
+        assert FULL.n_new_bi == 10_000
+        assert len(FULL.functions) == 33
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = {"P": {"pr_auc": 0.4}, "RPx": {"pr_auc": 0.5}}
+        text = report.format_table(
+            "Table 3a", rows, (("pr_auc", "PR AUC", 100.0),),
+            method_order=("P", "RPx"))
+        assert "Table 3a" in text
+        assert "40.00" in text and "50.00" in text
+
+    def test_format_relative(self):
+        rows = {"Pc": {"pr_auc": 0.4}, "RPx": {"pr_auc": 0.5}}
+        text = report.format_relative("Fig 7", rows, "Pc", (("pr_auc", "PR AUC"),))
+        assert "+25.0%" in text
+
+    def test_format_relative_missing_baseline(self):
+        with pytest.raises(KeyError):
+            report.format_relative("x", {"A": {}}, "missing", ())
+
+    def test_format_series(self):
+        text = report.format_series("Fig 12", "N", [200, 400],
+                                    {"P": [0.1, 0.2], "RPx": [0.2, 0.3]})
+        assert "200" in text and "30.00" in text
+
+    def test_format_trajectory(self):
+        trajectories = {"P": np.array([[0.9, 0.4], [0.2, 0.8]])}
+        text = report.format_trajectory("Fig 11", trajectories, n_bins=5)
+        assert "recall" in text
+        assert "0.400" in text

@@ -1,0 +1,63 @@
+"""Tests for subgroup-discovery hyperparameter optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperparams import (
+    ALPHA_GRID,
+    depth_grid,
+    optimize_alpha,
+    optimize_bi_depth,
+    optimize_bumping_features,
+)
+from tests.conftest import planted_box_data
+
+
+class TestDepthGrid:
+    def test_matches_paper_formula_m20(self):
+        # M = 20: ceil(20/6) = 4 -> {20, 16, 12, 8, 4}.
+        assert depth_grid(20) == (20, 16, 12, 8, 4)
+
+    def test_matches_paper_formula_m10(self):
+        # M = 10: ceil(10/6) = 2 -> {10, 8, 6, 4, 2}.
+        assert depth_grid(10) == (10, 8, 6, 4, 2)
+
+    def test_small_dimension(self):
+        assert depth_grid(3) == (3, 2, 1)
+
+    def test_all_positive(self):
+        for m in range(1, 40):
+            assert all(v > 0 for v in depth_grid(m))
+            assert depth_grid(m)[0] == m
+
+
+class TestOptimizeAlpha:
+    def test_returns_grid_member(self):
+        x, y, _ = planted_box_data(300, 3, seed=0)
+        assert optimize_alpha(x, y) in ALPHA_GRID
+
+    def test_custom_grid(self):
+        x, y, _ = planted_box_data(200, 2, seed=1)
+        assert optimize_alpha(x, y, grid=(0.07, 0.13)) in (0.07, 0.13)
+
+    def test_deterministic_given_seed(self):
+        x, y, _ = planted_box_data(250, 3, seed=2)
+        assert optimize_alpha(x, y, seed=5) == optimize_alpha(x, y, seed=5)
+
+
+class TestOptimizeDepths:
+    def test_bi_depth_in_grid(self):
+        x, y, _ = planted_box_data(300, 4, seed=3)
+        assert optimize_bi_depth(x, y) in depth_grid(4)
+
+    def test_bi_depth_prefers_sparse_truth(self):
+        """With 2 active of 8 inputs, a small depth should win: deeper
+        searches overfit inert dimensions."""
+        x, y, _ = planted_box_data(400, 8, n_active=2, noise=0.05, seed=4)
+        depth = optimize_bi_depth(x, y)
+        assert depth <= 6
+
+    def test_bumping_features_in_grid(self):
+        x, y, _ = planted_box_data(250, 4, seed=5)
+        m = optimize_bumping_features(x, y, alpha=0.1, n_repeats=3)
+        assert m in depth_grid(4)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests reproducing the paper's key claims.
+
+These are slower than unit tests but pin the headline behaviours the
+whole library exists for.  Each claim is tested at reduced scale with
+generous margins, averaged over seeds, so they are robust to noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import discover, get_model, make_dataset
+from repro.experiments.harness import get_test_data, make_train_data, run_single
+from repro.metrics import (
+    pairwise_consistency,
+    trajectory_of,
+    wracc_score,
+)
+
+
+@pytest.fixture(scope="module")
+def morris_test_data():
+    return get_test_data("morris", size=8000)
+
+
+class TestHeadlineClaims:
+    def test_reds_beats_prim_on_morris(self, morris_test_data):
+        """Section 9.2: RPx dominates P on PR AUC for morris."""
+        x_test, y_test = morris_test_data
+        model = get_model("morris")
+        p_aucs, reds_aucs = [], []
+        for rep in range(3):
+            x, y = make_train_data(model, 400, seed=40 + rep)
+            plain = discover("P", x, y, seed=rep)
+            relabelled = discover("RPx", x, y, seed=rep, n_new=10_000,
+                                  tune_metamodel=False)
+            p_aucs.append(trajectory_of(plain.boxes, x_test, y_test)[1])
+            reds_aucs.append(trajectory_of(relabelled.boxes, x_test, y_test)[1])
+        assert np.mean(reds_aucs) > np.mean(p_aucs) * 1.3
+
+    def test_simulation_saving_claim(self, morris_test_data):
+        """The 50-75% claim at reduced scale: REDS at N matches or beats
+        plain PRIM at 2N."""
+        x_test, y_test = morris_test_data
+        model = get_model("morris")
+        reds_small, plain_large = [], []
+        for rep in range(3):
+            x_small, y_small = make_train_data(model, 300, seed=50 + rep)
+            x_large, y_large = make_train_data(model, 600, seed=50 + rep)
+            reds = discover("RPx", x_small, y_small, seed=rep, n_new=10_000,
+                            tune_metamodel=False)
+            plain = discover("P", x_large, y_large, seed=rep)
+            reds_small.append(trajectory_of(reds.boxes, x_test, y_test)[1])
+            plain_large.append(trajectory_of(plain.boxes, x_test, y_test)[1])
+        assert np.mean(reds_small) >= np.mean(plain_large)
+
+    def test_reds_improves_bi_wracc(self):
+        """Section 9.1: RBIcxp beats BI on test WRAcc (morris)."""
+        x_test, y_test = get_test_data("morris", size=8000)
+        model = get_model("morris")
+        bi_scores, reds_scores = [], []
+        for rep in range(3):
+            x, y = make_train_data(model, 400, seed=60 + rep)
+            bi = discover("BI", x, y, seed=rep)
+            reds = discover("RBIcxp", x, y, seed=rep, n_new=3000,
+                            tune_metamodel=False)
+            bi_scores.append(wracc_score(bi.chosen_box, x_test, y_test))
+            reds_scores.append(wracc_score(reds.chosen_box, x_test, y_test))
+        assert np.mean(reds_scores) > np.mean(bi_scores)
+
+    def test_reds_reduces_irrelevant_restrictions(self):
+        """Tables 3e/4d: tuned and REDS methods barely restrict inert
+        inputs while plain P does."""
+        records_p, records_reds = [], []
+        for rep in range(3):
+            records_p.append(run_single(
+                "linketal06sin", "P", 300, 70 + rep, test_size=4000))
+            records_reds.append(run_single(
+                "linketal06sin", "RPx", 300, 70 + rep, n_new=5000,
+                tune_metamodel=False, test_size=4000))
+        mean_p = np.mean([r.n_irrelevant for r in records_p])
+        mean_reds = np.mean([r.n_irrelevant for r in records_reds])
+        assert mean_reds <= mean_p
+
+    def test_reds_consistency_gain(self):
+        """Table 3c: REDS boxes agree more across repetitions."""
+        model = get_model("ishigami")
+        boxes_p, boxes_reds = [], []
+        for rep in range(4):
+            x, y = make_train_data(model, 300, seed=80 + rep)
+            boxes_p.append(discover("P", x, y, seed=rep).chosen_box)
+            boxes_reds.append(discover(
+                "RPx", x, y, seed=rep, n_new=5000,
+                tune_metamodel=False).chosen_box)
+        assert (pairwise_consistency(boxes_reds)
+                > pairwise_consistency(boxes_p) * 0.8)
+
+    def test_dimensionality_correlation_direction(self):
+        """Section 9.1: REDS gains grow with input dimension — the gain
+        on 20-d morris exceeds the gain on 3-d ishigami."""
+        gains = {}
+        for function in ("ishigami", "morris"):
+            x_test, y_test = get_test_data(function, size=6000)
+            model = get_model(function)
+            p, reds = [], []
+            for rep in range(3):
+                x, y = make_train_data(model, 300, seed=90 + rep)
+                plain = discover("P", x, y, seed=rep)
+                relabelled = discover("RPx", x, y, seed=rep, n_new=8000,
+                                      tune_metamodel=False)
+                p.append(trajectory_of(plain.boxes, x_test, y_test)[1])
+                reds.append(trajectory_of(relabelled.boxes, x_test, y_test)[1])
+            gains[function] = np.mean(reds) / max(np.mean(p), 1e-9)
+        assert gains["morris"] > gains["ishigami"]

@@ -1,0 +1,84 @@
+"""Tests for the lake simulation and the synthetic TGL generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.lake import LAKE_DIM, lake_dataset, lake_outcome
+from repro.data.lake import _critical_threshold
+from repro.data.tgl import TGL_DIM, TGL_SIZE, tgl_dataset, tgl_prob
+
+
+class TestLakePhysics:
+    def test_critical_threshold_is_equilibrium(self):
+        """At the returned point, recycling equals decay."""
+        b = np.array([0.2, 0.3, 0.42])
+        q = np.array([2.5, 3.0, 4.0])
+        x = _critical_threshold(b, q)
+        residual = x**q / (1.0 + x**q) - b * x
+        np.testing.assert_allclose(residual, 0.0, atol=1e-10)
+
+    def test_high_decay_rate_protects_lake(self, rng):
+        """b near its maximum: the lake should almost never flip."""
+        u = rng.random((300, LAKE_DIM))
+        u[:, 0] = 0.95  # large b
+        u[:, 2] = 0.1   # small natural inflows
+        flips = lake_outcome(u, np.random.default_rng(0))
+        assert flips.mean() < 0.1
+
+    def test_low_decay_high_inflow_flips(self, rng):
+        u = rng.random((300, LAKE_DIM))
+        u[:, 0] = 0.0   # small b
+        u[:, 2] = 1.0   # large mean inflow
+        flips = lake_outcome(u, np.random.default_rng(0))
+        assert flips.mean() > 0.9
+
+    def test_delta_is_irrelevant(self, rng):
+        """The discount rate affects utility, not dynamics."""
+        u = rng.random((100, LAKE_DIM))
+        v = u.copy()
+        v[:, 4] = rng.random(100)
+        a = lake_outcome(u, np.random.default_rng(5))
+        b = lake_outcome(v, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_wrong_width(self, rng):
+        with pytest.raises(ValueError):
+            lake_outcome(rng.random((4, 3)), rng)
+
+
+class TestLakeDataset:
+    def test_shape(self):
+        x, y = lake_dataset()
+        assert x.shape == (1000, LAKE_DIM)
+        assert y.shape == (1000,)
+
+    def test_share_matches_paper(self):
+        _, y = lake_dataset()
+        assert 0.28 < y.mean() < 0.40  # paper: 33.5 %
+
+    def test_custom_size(self):
+        x, y = lake_dataset(n=200, seed=3)
+        assert len(x) == len(y) == 200
+
+
+class TestTGL:
+    def test_shape(self):
+        x, y = tgl_dataset()
+        assert x.shape == (TGL_SIZE, TGL_DIM)
+
+    def test_share_matches_paper(self):
+        _, y = tgl_dataset()
+        assert 0.07 < y.mean() < 0.14  # paper: 10.1 %
+
+    def test_prob_field_values(self, rng):
+        p = tgl_prob(rng.random((1000, TGL_DIM)))
+        assert set(np.unique(p)) <= {0.02, 0.90}
+
+    def test_interesting_region_is_low_corner(self):
+        inside = np.full((1, TGL_DIM), 0.1)
+        outside = np.full((1, TGL_DIM), 0.9)
+        assert tgl_prob(inside)[0] > tgl_prob(outside)[0]
+
+    def test_rejects_wrong_width(self, rng):
+        with pytest.raises(ValueError):
+            tgl_prob(rng.random((4, 2)))

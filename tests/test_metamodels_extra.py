@@ -1,0 +1,112 @@
+"""Additional metamodel edge cases and cross-model behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.metamodels import (
+    GradientBoostingModel,
+    RandomForestModel,
+    SVMModel,
+)
+from tests.conftest import planted_box_data
+
+
+class TestCrossModelContract:
+    """Every metamodel must satisfy the Metamodel protocol uniformly."""
+
+    @pytest.fixture(params=["forest", "boosting", "svm"])
+    def fitted(self, request):
+        x, y, _ = planted_box_data(200, 3, seed=42)
+        models = {
+            "forest": RandomForestModel(n_trees=10, seed=0),
+            "boosting": GradientBoostingModel(n_rounds=20, seed=0),
+            "svm": SVMModel(),
+        }
+        return models[request.param].fit(x, y)
+
+    def test_predict_binary(self, fitted, rng):
+        labels = fitted.predict(rng.random((50, 3)))
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_proba_unit_interval(self, fitted, rng):
+        p = fitted.predict_proba(rng.random((50, 3)))
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_prediction_shapes(self, fitted, rng):
+        grid = rng.random((17, 3))
+        assert fitted.predict(grid).shape == (17,)
+        assert fitted.predict_proba(grid).shape == (17,)
+
+    def test_deterministic_predictions(self, fitted, rng):
+        grid = rng.random((20, 3))
+        np.testing.assert_array_equal(fitted.predict(grid),
+                                      fitted.predict(grid))
+
+
+class TestForestEdgeCases:
+    def test_single_tree(self):
+        x, y, _ = planted_box_data(100, 2, seed=0)
+        model = RandomForestModel(n_trees=1, seed=0).fit(x, y)
+        assert model.predict_proba(x).shape == (100,)
+
+    def test_max_depth_cap(self):
+        x, y, _ = planted_box_data(300, 2, seed=1)
+        model = RandomForestModel(n_trees=5, max_depth=2, seed=0).fit(x, y)
+        assert all(tree.depth <= 2 for tree in model.trees_)
+
+    def test_all_same_label(self, rng):
+        x = rng.random((60, 2))
+        model = RandomForestModel(n_trees=5, seed=0).fit(x, np.ones(60))
+        np.testing.assert_allclose(model.predict_proba(x), 1.0)
+
+    def test_mtry_capped_at_dim(self):
+        x, y, _ = planted_box_data(80, 2, seed=2)
+        model = RandomForestModel(n_trees=2, max_features=99, seed=0)
+        model.fit(x, y)  # must not raise
+        assert model._resolve_max_features(2) == 2
+
+
+class TestBoostingEdgeCases:
+    def test_single_round(self):
+        x, y, _ = planted_box_data(100, 2, seed=3)
+        model = GradientBoostingModel(n_rounds=1, seed=0).fit(x, y)
+        assert len(model.trees_) == 1
+
+    def test_all_negative_labels_extreme_base(self, rng):
+        x = rng.random((50, 2))
+        model = GradientBoostingModel(n_rounds=3, seed=0).fit(x, np.zeros(50))
+        assert (model.predict(x) == 0).all()
+        assert model.base_score_ < -10  # log-odds of the clipped rate
+
+    def test_decision_function_additive(self):
+        """Raw score must equal base + sum of shrunken tree outputs."""
+        x, y, _ = planted_box_data(150, 2, seed=4)
+        model = GradientBoostingModel(n_rounds=7, seed=0).fit(x, y)
+        manual = np.full(len(x), model.base_score_)
+        for tree, cols in model.trees_:
+            manual += model.learning_rate * tree.predict(x[:, cols])
+        np.testing.assert_allclose(model.decision_function(x), manual)
+
+
+class TestSVMEdgeCases:
+    def test_explicit_gamma_respected(self):
+        x, y, _ = planted_box_data(120, 2, seed=5)
+        model = SVMModel(gamma=3.5).fit(x, y)
+        assert model.gamma_ == 3.5
+
+    def test_few_support_vectors_than_points(self):
+        """Easy problems need only boundary points as SVs."""
+        gen = np.random.default_rng(0)
+        x = np.vstack([gen.normal(-2, 0.3, (80, 2)), gen.normal(2, 0.3, (80, 2))])
+        y = np.repeat([0, 1], 80)
+        model = SVMModel(c=1.0).fit(x, y)
+        assert len(model.support_x_) < len(x)
+
+    def test_larger_c_fits_train_harder(self):
+        gen = np.random.default_rng(1)
+        x = gen.random((200, 2))
+        y = ((x[:, 0] - 0.5) ** 2 + (x[:, 1] - 0.5) ** 2 < 0.08).astype(int)
+        soft = SVMModel(c=0.1).fit(x, y)
+        hard = SVMModel(c=100.0).fit(x, y)
+        acc = lambda m: (m.predict(x) == y).mean()
+        assert acc(hard) >= acc(soft)

@@ -1,0 +1,130 @@
+"""Tests for the method-name registry and the unified discover() API."""
+
+import numpy as np
+import pytest
+
+from repro.core.methods import DiscoveryResult, discover, parse_method
+from tests.conftest import planted_box_data
+
+
+class TestParsing:
+    @pytest.mark.parametrize("name,sd,optimize", [
+        ("P", "prim", False),
+        ("Pc", "prim", True),
+        ("PB", "bumping", False),
+        ("PBc", "bumping", True),
+        ("BI", "bi", False),
+        ("BIc", "bi", True),
+    ])
+    def test_plain_methods(self, name, sd, optimize):
+        spec = parse_method(name)
+        assert spec.sd == sd
+        assert spec.optimize is optimize
+        assert not spec.is_reds
+
+    def test_bi5_beam(self):
+        assert parse_method("BI5").beam_size == 5
+        assert parse_method("BI").beam_size == 1
+
+    @pytest.mark.parametrize("name,metamodel,soft,optimize,sd", [
+        ("RPf", "forest", False, False, "prim"),
+        ("RPx", "boosting", False, False, "prim"),
+        ("RPs", "svm", False, False, "prim"),
+        ("RPxp", "boosting", True, False, "prim"),
+        ("RPfp", "forest", True, False, "prim"),
+        ("RPcxp", "boosting", True, True, "prim"),
+        ("RBIcxp", "boosting", True, True, "bi"),
+        ("RBIcfp", "forest", True, True, "bi"),
+    ])
+    def test_reds_methods(self, name, metamodel, soft, optimize, sd):
+        spec = parse_method(name)
+        assert spec.is_reds
+        assert spec.metamodel == metamodel
+        assert spec.soft_labels is soft
+        assert spec.optimize is optimize
+        assert spec.sd == sd
+
+    @pytest.mark.parametrize("bad", ["", "X", "RP", "RPz", "Rx", "BIC", "pc", "RPxq"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_method(bad)
+
+    def test_family(self):
+        assert parse_method("PB").family == "prim"
+        assert parse_method("RBIcxp").family == "bi"
+
+
+class TestDiscover:
+    @pytest.mark.parametrize("name", ["P", "BI"])
+    def test_plain_methods_run(self, name):
+        x, y, _ = planted_box_data(300, 3, seed=0)
+        result = discover(name, x, y, seed=0)
+        assert isinstance(result, DiscoveryResult)
+        assert result.chosen_box.dim == 3
+        assert result.runtime > 0
+
+    def test_bumping_runs_with_few_repeats(self):
+        x, y, _ = planted_box_data(300, 3, seed=1)
+        result = discover("PB", x, y, seed=0, n_repeats=5)
+        assert len(result.boxes) >= 1
+
+    def test_reds_prim_runs(self):
+        x, y, _ = planted_box_data(200, 3, seed=2)
+        result = discover("RPf", x, y, seed=0, n_new=1000, tune_metamodel=False)
+        assert result.hyperparams["L"] == 1000
+        assert result.hyperparams["metamodel"] == "forest"
+
+    def test_reds_bi_runs(self):
+        x, y, _ = planted_box_data(200, 3, seed=3)
+        result = discover("RBIcxp", x, y, seed=0, n_new=800, tune_metamodel=False)
+        assert len(result.boxes) == 1
+        assert "m" in result.hyperparams
+
+    def test_optimized_alpha_recorded(self):
+        x, y, _ = planted_box_data(250, 2, seed=4)
+        result = discover("Pc", x, y, seed=0)
+        from repro.core.hyperparams import ALPHA_GRID
+        assert result.hyperparams["alpha"] in ALPHA_GRID
+
+    def test_default_alpha_used_without_c(self):
+        x, y, _ = planted_box_data(250, 2, seed=5)
+        result = discover("P", x, y, seed=0, alpha=0.13)
+        assert result.hyperparams["alpha"] == 0.13
+
+    def test_trajectory_nested_for_prim(self):
+        x, y, _ = planted_box_data(300, 3, seed=6)
+        result = discover("P", x, y, seed=0)
+        assert len(result.boxes) > 2
+        assert result.boxes[0].n_restricted == 0
+
+    def test_seed_reproducibility(self):
+        x, y, _ = planted_box_data(200, 3, seed=7)
+        a = discover("RPx", x, y, seed=11, n_new=500, tune_metamodel=False)
+        b = discover("RPx", x, y, seed=11, n_new=500, tune_metamodel=False)
+        assert a.chosen_box.key() == b.chosen_box.key()
+
+    def test_custom_sampler_propagates(self):
+        x, y, _ = planted_box_data(200, 2, seed=8)
+        calls = []
+        def sampler(n, m, rng):
+            calls.append(n)
+            return rng.random((n, m))
+        discover("RPf", x, y, seed=0, n_new=300, sampler=sampler,
+                 tune_metamodel=False)
+        assert calls == [300]
+
+    def test_pool_mode(self):
+        x, y, _ = planted_box_data(200, 2, seed=9)
+        pool = np.random.default_rng(1).random((400, 2))
+        result = discover("RPf", x, y, seed=0, pool=pool, tune_metamodel=False)
+        assert result.hyperparams["L"] == 400
+
+    def test_reds_prim_box_keeps_support_on_original_data(self):
+        """REDS grounds PRIM's support constraint in the original
+        simulations: every trajectory box must contain at least mp real
+        points, preventing arbitrarily deep metamodel-artefact boxes."""
+        x, y, _ = planted_box_data(200, 3, seed=10)
+        result = discover("RPx", x, y, seed=0, n_new=5000,
+                          tune_metamodel=False)
+        for box in result.boxes:
+            assert box.contains(x).sum() >= 20

@@ -1,0 +1,66 @@
+"""Brute-force verification of the Morris function implementation.
+
+The vectorised implementation computes third- and fourth-order
+interaction sums through elementary symmetric polynomials; this test
+re-computes the full quadruple sum naively on small samples to make
+sure the algebra is right.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data.saltelli import _morris_w, morris
+
+
+def morris_naive(x: np.ndarray) -> np.ndarray:
+    w = _morris_w(np.asarray(x, dtype=float))
+    n, m = w.shape
+    out = np.zeros(n)
+
+    def beta1(i):  # 1-based index
+        return 20.0 if i <= 10 else (-1.0) ** i
+
+    def beta2(i, j):
+        return -15.0 if (i <= 6 and j <= 6) else (-1.0) ** (i + j)
+
+    for row in range(n):
+        total = 0.0
+        for i in range(1, m + 1):
+            total += beta1(i) * w[row, i - 1]
+        for i, j in itertools.combinations(range(1, m + 1), 2):
+            total += beta2(i, j) * w[row, i - 1] * w[row, j - 1]
+        for i, j, k in itertools.combinations(range(1, 6), 3):
+            total += -10.0 * w[row, i - 1] * w[row, j - 1] * w[row, k - 1]
+        for i, j, k, l in itertools.combinations(range(1, 5), 4):
+            total += 5.0 * (w[row, i - 1] * w[row, j - 1]
+                            * w[row, k - 1] * w[row, l - 1])
+        out[row] = total
+    return out
+
+
+class TestMorrisExact:
+    def test_matches_naive_on_random_points(self, rng):
+        x = rng.random((25, 20))
+        np.testing.assert_allclose(morris(x), morris_naive(x), rtol=1e-10)
+
+    def test_matches_naive_at_cube_corners(self):
+        corners = np.array([
+            np.zeros(20),
+            np.ones(20),
+            np.concatenate([np.ones(10), np.zeros(10)]),
+        ])
+        np.testing.assert_allclose(
+            morris(corners), morris_naive(corners), rtol=1e-10)
+
+    def test_w_transform_special_inputs(self):
+        """Inputs 3, 5, 7 (1-based) use the rational transform."""
+        x = np.full((1, 20), 0.5)
+        w = _morris_w(x.copy())
+        # Plain transform: 2*(0.5-0.5) = 0.
+        assert w[0, 0] == pytest.approx(0.0)
+        # Rational transform at 0.5: 2*(1.1*0.5/0.6 - 0.5) = 5/6 - 1 != 0.
+        expected = 2.0 * (1.1 * 0.5 / 0.6 - 0.5)
+        for j in (2, 4, 6):
+            assert w[0, j] == pytest.approx(expected)

@@ -1,0 +1,121 @@
+"""Tests for PCA-PRIM (orthogonal rotations)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.quality import precision_recall
+from repro.subgroup.pca_prim import RotatedBox, pca_prim, pca_rotation
+from repro.subgroup.prim import prim_peel
+
+
+def _oblique_band_data(n=2000, seed=0):
+    """y = 1 inside a diagonal band — PRIM-hostile, rotation-friendly."""
+    gen = np.random.default_rng(seed)
+    x = gen.random((n, 2))
+    y = (np.abs(x[:, 0] - x[:, 1]) < 0.12).astype(float)
+    return x, y
+
+
+class TestRotation:
+    def test_transform_shape(self, rng):
+        x = rng.random((100, 3))
+        rotation = pca_rotation(x)
+        assert rotation.transform(x).shape == (100, 3)
+
+    def test_components_orthonormal(self, rng):
+        x = rng.random((200, 4))
+        rotation = pca_rotation(x)
+        gram = rotation.components @ rotation.components.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_decorrelates_background(self):
+        """Rotated background coordinates are uncorrelated."""
+        gen = np.random.default_rng(1)
+        base = gen.normal(size=(2000, 2))
+        x = base @ np.array([[1.0, 0.8], [0.0, 0.6]])  # correlated
+        rotation = pca_rotation(x)
+        z = rotation.transform(x)
+        corr = np.corrcoef(z, rowvar=False)
+        assert abs(corr[0, 1]) < 0.05
+
+    def test_uses_background_class_when_available(self):
+        x, y = _oblique_band_data()
+        with_labels = pca_rotation(x, y)
+        without = pca_rotation(x)
+        # Same interface; both orthonormal.
+        for rotation in (with_labels, without):
+            gram = rotation.components @ rotation.components.T
+            np.testing.assert_allclose(gram, np.eye(2), atol=1e-10)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            pca_rotation(rng.random(10))
+
+    def test_rejects_mismatched_labels(self, rng):
+        with pytest.raises(ValueError):
+            pca_rotation(rng.random((10, 2)), np.zeros(5))
+
+    def test_constant_column_handled(self, rng):
+        x = rng.random((50, 2))
+        x[:, 1] = 0.5
+        rotation = pca_rotation(x)
+        assert np.isfinite(rotation.transform(x)).all()
+
+
+class TestRotatedBox:
+    def test_contains_raw_points(self):
+        x, y = _oblique_band_data()
+        _, rotation, rotated = pca_prim(x, y)
+        membership = rotated[-1].contains(x)
+        assert membership.dtype == bool
+        assert 0 < membership.sum() < len(x)
+
+    def test_loadings_shape(self):
+        x, y = _oblique_band_data()
+        _, rotation, rotated = pca_prim(x, y)
+        assert rotated[0].loadings(0).shape == (2,)
+
+    def test_n_restricted_delegates(self):
+        x, y = _oblique_band_data()
+        result, _, rotated = pca_prim(x, y)
+        assert rotated[-1].n_restricted == result.boxes[-1].n_restricted
+
+
+class TestPCAPrim:
+    def test_beats_plain_prim_on_oblique_band(self):
+        """The motivating case of Dalal et al.: an oblique region that
+        axis-aligned peeling approximates poorly."""
+        x, y = _oblique_band_data(seed=2)
+        x_test, y_test = _oblique_band_data(seed=3)
+
+        plain = prim_peel(x, y)
+        plain_prec, plain_rec = precision_recall(
+            plain.chosen_box, x_test, y_test)
+
+        result, rotation, rotated = pca_prim(x, y)
+        chosen = RotatedBox(result.boxes[result.chosen], rotation)
+        inside = chosen.contains(x_test)
+        covered = float(y_test[inside].sum())
+        rot_prec = covered / max(inside.sum(), 1)
+        rot_rec = covered / max(y_test.sum(), 1)
+
+        def f_score(p, r):
+            return 2 * p * r / max(p + r, 1e-9)
+
+        assert f_score(rot_prec, rot_rec) > f_score(plain_prec, plain_rec)
+
+    def test_trajectory_lengths_match(self):
+        x, y = _oblique_band_data()
+        result, _, rotated = pca_prim(x, y)
+        assert len(rotated) == len(result.boxes)
+
+    def test_validation_data_rotated_too(self):
+        x, y = _oblique_band_data(seed=4)
+        x_val, y_val = _oblique_band_data(n=500, seed=5)
+        result, _, _ = pca_prim(x, y, x_val=x_val, y_val=y_val)
+        assert 0 <= result.chosen < len(result.boxes)
+
+    def test_objective_forwarded(self):
+        x, y = _oblique_band_data(seed=6)
+        result, _, _ = pca_prim(x, y, objective="wracc")
+        assert len(result.boxes) >= 1

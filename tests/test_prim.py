@@ -1,0 +1,151 @@
+"""Tests for PRIM peeling (and pasting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.subgroup.prim import prim_peel
+from tests.conftest import planted_box_data
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self, rng):
+        x, y = rng.random((50, 2)), rng.integers(0, 2, 50)
+        for alpha in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                prim_peel(x, y, alpha=alpha)
+
+    def test_rejects_bad_min_support(self, rng):
+        with pytest.raises(ValueError):
+            prim_peel(rng.random((50, 2)), rng.integers(0, 2, 50), min_support=0)
+
+    def test_rejects_mismatched_val(self, rng):
+        with pytest.raises(ValueError):
+            prim_peel(rng.random((50, 2)), rng.integers(0, 2, 50),
+                      x_val=rng.random((10, 2)))
+
+    def test_rejects_1d_x(self, rng):
+        with pytest.raises(ValueError):
+            prim_peel(rng.random(50), rng.integers(0, 2, 50))
+
+
+class TestPeeling:
+    def test_boxes_are_nested(self):
+        x, y, _ = planted_box_data(500, 3, seed=0)
+        result = prim_peel(x, y)
+        for previous, current in zip(result.boxes, result.boxes[1:]):
+            assert (current.lower >= previous.lower).all()
+            assert (current.upper <= previous.upper).all()
+
+    def test_support_strictly_decreases(self):
+        x, y, _ = planted_box_data(500, 3, seed=1)
+        result = prim_peel(x, y)
+        assert (np.diff(result.train_support) < 0).all()
+
+    def test_first_box_is_unrestricted(self):
+        x, y, _ = planted_box_data(300, 2, seed=2)
+        result = prim_peel(x, y)
+        assert result.boxes[0].n_restricted == 0
+        assert result.train_means[0] == pytest.approx(y.mean())
+
+    def test_min_support_respected(self):
+        x, y, _ = planted_box_data(400, 3, seed=3)
+        result = prim_peel(x, y, min_support=30)
+        assert result.train_support.min() >= 30
+
+    def test_finds_planted_box(self):
+        """With clean labels PRIM should locate the planted region."""
+        x, y, box = planted_box_data(2000, 3, seed=4)
+        result = prim_peel(x, y, alpha=0.05)
+        chosen = result.chosen_box
+        # The chosen box must sit inside a slightly inflated true box
+        # on the two active dims and be nearly pure.
+        assert result.val_means[result.chosen] > 0.9
+        assert chosen.lower[0] > 0.1 and chosen.upper[0] < 0.7
+
+    def test_chosen_maximises_validation_mean(self):
+        x, y, _ = planted_box_data(500, 3, seed=5)
+        result = prim_peel(x, y)
+        assert result.chosen == int(np.argmax(result.val_means))
+
+    def test_constant_labels_stop_immediately_still_valid(self, rng):
+        x = rng.random((100, 2))
+        result = prim_peel(x, np.ones(100))
+        # All-positive data: every peel keeps mean 1; trajectory exists
+        # and every mean is 1.
+        np.testing.assert_allclose(result.train_means, 1.0)
+
+    def test_all_negative_labels(self, rng):
+        x = rng.random((100, 2))
+        result = prim_peel(x, np.zeros(100))
+        np.testing.assert_allclose(result.train_means, 0.0)
+
+    def test_soft_labels_accepted(self, rng):
+        x = rng.random((300, 2))
+        y = np.clip(x[:, 0], 0, 1)  # soft response rising in x0
+        result = prim_peel(x, y, alpha=0.1)
+        # Peeling should push the box toward large x0.
+        assert result.chosen_box.lower[0] > 0.3
+
+    def test_separate_validation_set(self):
+        x, y, _ = planted_box_data(500, 3, seed=6)
+        x_val, y_val, _ = planted_box_data(500, 3, seed=7)
+        result = prim_peel(x, y, x_val=x_val, y_val=y_val)
+        assert 0 <= result.chosen < len(result.boxes)
+
+    def test_validation_support_limits_depth(self):
+        """A tiny validation set must stop peeling early."""
+        x, y, _ = planted_box_data(1000, 2, seed=8)
+        x_val, y_val, _ = planted_box_data(30, 2, seed=9)
+        shallow = prim_peel(x, y, x_val=x_val, y_val=y_val, min_support=20)
+        deep = prim_peel(x, y, min_support=20)
+        assert len(shallow) < len(deep)
+
+    def test_duplicate_values_cannot_stall(self):
+        """Ties at the peel quantile must not produce an empty cut loop."""
+        gen = np.random.default_rng(0)
+        x = np.round(gen.random((300, 2)), 1)  # heavy ties
+        y = (x[:, 0] > 0.5).astype(float)
+        result = prim_peel(x, y, alpha=0.05)
+        assert len(result) >= 2
+
+    def test_alpha_controls_patience(self):
+        x, y, _ = planted_box_data(1000, 3, seed=10)
+        patient = prim_peel(x, y, alpha=0.03)
+        greedy = prim_peel(x, y, alpha=0.3)
+        assert len(patient) > len(greedy)
+
+
+class TestPasting:
+    def test_pasting_never_reduces_chosen_mean(self):
+        x, y, _ = planted_box_data(800, 3, noise=0.05, seed=11)
+        plain = prim_peel(x, y, paste=False)
+        pasted = prim_peel(x, y, paste=True)
+        assert (pasted.train_means[pasted.chosen]
+                >= plain.train_means[plain.chosen] - 1e-12)
+
+    def test_pasting_can_expand_box(self):
+        """Over-peeled boxes should grow back toward the true region."""
+        x, y, box = planted_box_data(2000, 2, seed=12)
+        plain = prim_peel(x, y, alpha=0.2)
+        pasted = prim_peel(x, y, alpha=0.2, paste=True)
+        vol_plain = plain.chosen_box.volume()
+        vol_pasted = pasted.chosen_box.volume()
+        assert vol_pasted >= vol_plain - 1e-12
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 1000), alpha=st.sampled_from([0.05, 0.1, 0.2]))
+    @settings(max_examples=15, deadline=None)
+    def test_means_peak_at_chosen(self, seed, alpha):
+        x, y, _ = planted_box_data(400, 3, noise=0.1, seed=seed)
+        result = prim_peel(x, y, alpha=alpha)
+        assert result.val_means[result.chosen] == result.val_means.max()
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_every_box_contains_min_support_points(self, seed):
+        x, y, _ = planted_box_data(300, 4, noise=0.2, seed=seed)
+        result = prim_peel(x, y, min_support=25)
+        for box in result.boxes:
+            assert box.contains(x).sum() >= 25

@@ -1,0 +1,96 @@
+"""Tests for the alternative PRIM peeling objectives."""
+
+import numpy as np
+import pytest
+
+from repro.subgroup.prim import OBJECTIVES, prim_peel, _peel_score
+from tests.conftest import planted_box_data
+
+
+class TestPeelScore:
+    def test_mean_objective_is_mean(self):
+        assert _peel_score("mean", 0.7, 50, 100, 0.5, 0.3, 1000) == 0.7
+
+    def test_gain_normalises_by_removed(self):
+        # mean improves by 0.2, 50 points removed -> 0.004.
+        score = _peel_score("gain", 0.7, 50, 100, 0.5, 0.3, 1000)
+        assert score == pytest.approx(0.2 / 50)
+
+    def test_wracc_uses_global_base_rate(self):
+        # kept/total * (mean_after - total_mean) = 0.05 * 0.4.
+        score = _peel_score("wracc", 0.7, 50, 100, 0.5, 0.3, 1000)
+        assert score == pytest.approx(0.05 * 0.4)
+
+
+class TestObjectives:
+    def test_registry(self):
+        assert OBJECTIVES == ("mean", "gain", "wracc")
+
+    def test_unknown_objective_rejected(self, rng):
+        x, y, _ = planted_box_data(100, 2)
+        with pytest.raises(ValueError, match="objective"):
+            prim_peel(x, y, objective="lift")
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_all_objectives_produce_nested_boxes(self, objective):
+        x, y, _ = planted_box_data(500, 3, seed=1)
+        result = prim_peel(x, y, objective=objective)
+        assert len(result.boxes) >= 2
+        for previous, current in zip(result.boxes, result.boxes[1:]):
+            assert (current.lower >= previous.lower).all()
+            assert (current.upper <= previous.upper).all()
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_all_objectives_find_planted_box(self, objective):
+        x, y, _ = planted_box_data(2000, 3, seed=2)
+        result = prim_peel(x, y, objective=objective)
+        assert result.val_means[result.chosen] > 0.85
+
+    def test_mean_is_default(self):
+        x, y, _ = planted_box_data(400, 2, seed=3)
+        default = prim_peel(x, y)
+        explicit = prim_peel(x, y, objective="mean")
+        assert [b.key() for b in default.boxes] == [b.key() for b in explicit.boxes]
+
+    def test_objectives_can_disagree(self):
+        """When candidate cuts remove different numbers of points (as
+        with tied/discrete values), normalising by the removed count
+        changes which cut wins, so peeling paths genuinely differ."""
+        gen = np.random.default_rng(4)
+        x = gen.random((900, 3))
+        # Discrete second dim with unequal level masses -> unequal cuts.
+        x[:, 1] = gen.choice([0.1, 0.5, 0.9], size=900, p=[0.5, 0.3, 0.2])
+        y = ((x[:, 0] < 0.45) & (x[:, 1] >= 0.5)).astype(float)
+        noise = gen.random(900) < 0.2
+        y = np.where(noise, 1 - y, y)
+        mean_path = prim_peel(x, y, objective="mean")
+        gain_path = prim_peel(x, y, objective="gain")
+        mean_keys = [b.key() for b in mean_path.boxes]
+        gain_keys = [b.key() for b in gain_path.boxes]
+        assert mean_keys != gain_keys
+
+
+class TestDiscretePeeling:
+    def test_tie_fallback_peels_whole_level(self):
+        """With 5-level discrete inputs and alpha < 0.2, the fallback
+        removes one level at a time instead of stalling."""
+        gen = np.random.default_rng(0)
+        levels = np.array([0.1, 0.3, 0.5, 0.7, 0.9])
+        x = gen.choice(levels, size=(2000, 2))
+        y = ((x[:, 0] >= 0.5) & (x[:, 1] >= 0.5)).astype(float)
+        result = prim_peel(x, y, alpha=0.05)
+        chosen = result.chosen_box
+        # The box should exclude the low levels on both inputs.
+        assert chosen.lower[0] >= 0.3
+        assert chosen.lower[1] >= 0.3
+        assert result.val_means[result.chosen] > 0.95
+
+    def test_mixed_continuous_and_discrete(self):
+        gen = np.random.default_rng(1)
+        x = gen.random((1500, 2))
+        x[:, 1] = gen.choice([0.1, 0.3, 0.5, 0.7, 0.9], size=1500)
+        y = ((x[:, 0] < 0.5) & (x[:, 1] <= 0.3)).astype(float)
+        result = prim_peel(x, y, alpha=0.07)
+        assert result.val_means[result.chosen] > 0.9
+        # Both the continuous and the discrete dim get restricted.
+        assert result.chosen_box.n_restricted == 2

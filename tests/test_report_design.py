@@ -1,0 +1,82 @@
+"""Additional tests for report formatting and experiment design."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.design import EXPERIMENTS, QUICK, QUICK_FUNCTIONS
+from repro.experiments.report import (
+    format_relative,
+    format_series,
+    format_table,
+    format_trajectory,
+)
+
+
+class TestFormatTableEdges:
+    def test_missing_metric_renders_nan(self):
+        text = format_table("t", {"P": {}}, (("pr_auc", "PR AUC", 100.0),))
+        assert "nan" in text
+
+    def test_method_order_filters_unknown(self):
+        text = format_table("t", {"P": {"m": 1.0}}, (("m", "m", 1.0),),
+                            method_order=("P", "Ghost"))
+        assert "Ghost" not in text
+
+    def test_columns_are_separated(self):
+        """Regression: wide values must not run into each other."""
+        rows = {"P": {"m": 0.4003}, "Pc": {"m": 0.3965}}
+        text = format_table("t", rows, (("m", "metric %", 100.0),))
+        line = text.splitlines()[-1]
+        assert "40.03" in line and "39.65" in line
+        assert "40.0339.65" not in line.replace(" ", "#")
+
+    def test_scale_applied(self):
+        text = format_table("t", {"P": {"m": 0.5}}, (("m", "m", 100.0),))
+        assert "50.00" in text
+
+
+class TestFormatRelativeEdges:
+    def test_zero_baseline_gives_nan(self):
+        rows = {"base": {"m": 0.0}, "other": {"m": 0.5}}
+        text = format_relative("t", rows, "base", (("m", "m"),))
+        assert "nan" in text
+
+    def test_negative_change_sign(self):
+        rows = {"base": {"m": 1.0}, "worse": {"m": 0.5}}
+        text = format_relative("t", rows, "base", (("m", "m"),))
+        assert "-50.0%" in text
+
+
+class TestFormatSeriesAndTrajectory:
+    def test_series_row_per_x(self):
+        text = format_series("t", "N", [1, 2, 3], {"P": [0.1, 0.2, 0.3]})
+        assert len(text.splitlines()) == 6  # title, rule, header, 3 rows
+
+    def test_trajectory_empty_bins_dashed(self):
+        trajectories = {"P": np.array([[0.95, 0.3]])}
+        text = format_trajectory("t", trajectories, n_bins=4)
+        assert "-" in text.splitlines()[-1]
+
+    def test_trajectory_bin_means(self):
+        points = np.array([[0.95, 0.2], [0.96, 0.4]])
+        text = format_trajectory("t", {"P": points}, n_bins=2)
+        # Both points fall into the top recall bin; mean precision 0.3.
+        assert "0.300" in text
+
+
+class TestDesignConfigs:
+    def test_quick_functions_are_diverse(self):
+        from repro.data import get_model
+        dims = {get_model(f).dim for f in QUICK_FUNCTIONS}
+        assert len(dims) >= 3  # low- and high-dimensional mix
+
+    def test_quick_scale_is_actually_quick(self):
+        assert QUICK.n_reps <= 5
+        assert QUICK.n_new_prim <= 20_000
+
+    def test_experiment_sections_cover_evaluation(self):
+        sections = {config.section for config in EXPERIMENTS.values()}
+        assert {"8.1", "9.1.1", "9.1.2", "9.2.1", "9.2.2", "9.3", "9.4"} <= sections
+
+    def test_nine_artefacts(self):
+        assert len(EXPERIMENTS) == 9

@@ -1,0 +1,150 @@
+"""Tests for the design-of-experiments substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import (
+    MIXED_LEVELS,
+    discretize_even_inputs,
+    get_sampler,
+    halton_sequence,
+    latin_hypercube,
+    logit_normal,
+    uniform_random,
+)
+
+
+class TestLatinHypercube:
+    def test_shape(self, rng):
+        assert latin_hypercube(50, 7, rng).shape == (50, 7)
+
+    def test_range(self, rng):
+        x = latin_hypercube(100, 3, rng)
+        assert (x >= 0).all() and (x < 1).all()
+
+    def test_stratification(self, rng):
+        """Each margin hits every one of the n strata exactly once."""
+        n = 40
+        x = latin_hypercube(n, 5, rng)
+        for j in range(5):
+            strata = np.floor(x[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_different_seeds_differ(self):
+        a = latin_hypercube(20, 2, np.random.default_rng(1))
+        b = latin_hypercube(20, 2, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproducible(self):
+        a = latin_hypercube(20, 2, np.random.default_rng(7))
+        b = latin_hypercube(20, 2, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("n,m", [(0, 3), (-1, 3), (5, 0)])
+    def test_invalid_shape_rejected(self, rng, n, m):
+        with pytest.raises(ValueError):
+            latin_hypercube(n, m, rng)
+
+    @given(n=st.integers(1, 200), m=st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_stratification_property(self, n, m):
+        x = latin_hypercube(n, m, np.random.default_rng(0))
+        strata = np.floor(x * n).astype(int)
+        for j in range(m):
+            assert len(np.unique(strata[:, j])) == n
+
+
+class TestHalton:
+    def test_shape_and_range(self):
+        x = halton_sequence(64, 4)
+        assert x.shape == (64, 4)
+        assert (x >= 0).all() and (x < 1).all()
+
+    def test_deterministic_without_rng(self):
+        np.testing.assert_array_equal(halton_sequence(32, 3), halton_sequence(32, 3))
+
+    def test_randomised_shift_changes_points(self):
+        raw = halton_sequence(32, 3)
+        shifted = halton_sequence(32, 3, np.random.default_rng(0))
+        assert not np.allclose(raw, shifted)
+
+    def test_shift_preserves_within_dim_spacing(self):
+        """A Cranley-Patterson rotation is a modulo-1 shift per dim."""
+        raw = halton_sequence(32, 2)
+        shifted = halton_sequence(32, 2, np.random.default_rng(3))
+        delta = (shifted - raw) % 1.0
+        # The shift is constant per dimension.
+        assert np.allclose(delta, delta[0], atol=1e-12)
+
+    def test_first_base_is_van_der_corput(self):
+        # With skip=0, the base-2 radical inverse starts 1/2, 1/4, 3/4...
+        x = halton_sequence(3, 1, skip=0)
+        np.testing.assert_allclose(x[:, 0], [0.5, 0.25, 0.75])
+
+    def test_low_discrepancy_beats_uniform_tail(self):
+        """Halton fills the cube more evenly than a bad MC draw could."""
+        x = halton_sequence(128, 2)
+        counts, _, _ = np.histogram2d(x[:, 0], x[:, 1], bins=4)
+        assert counts.min() >= 4  # every 1/16 cell is populated
+
+    def test_dimension_cap(self):
+        with pytest.raises(ValueError):
+            halton_sequence(10, 101)
+
+
+class TestUniformAndDistributions:
+    def test_uniform_shape(self, rng):
+        assert uniform_random(10, 4, rng).shape == (10, 4)
+
+    def test_logit_normal_support(self, rng):
+        x = logit_normal(1000, 3, rng)
+        assert (x > 0).all() and (x < 1).all()
+
+    def test_logit_normal_median_at_half(self, rng):
+        x = logit_normal(20_000, 1, rng, mu=0.0)
+        assert abs(np.median(x) - 0.5) < 0.02
+
+    def test_logit_normal_mu_shifts_mass(self, rng):
+        lo = logit_normal(5000, 1, np.random.default_rng(0), mu=-2.0)
+        hi = logit_normal(5000, 1, np.random.default_rng(0), mu=2.0)
+        assert lo.mean() < 0.3 < 0.7 < hi.mean()
+
+    def test_logit_normal_not_uniform(self, rng):
+        """Sigma=1 concentrates mass near 0.5 relative to uniform."""
+        x = logit_normal(50_000, 1, rng)
+        central = ((x > 0.25) & (x < 0.75)).mean()
+        assert central > 0.55  # uniform would give 0.5
+
+    def test_logit_normal_invalid_sigma(self, rng):
+        with pytest.raises(ValueError):
+            logit_normal(10, 2, rng, sigma=0.0)
+
+    def test_discretize_even_inputs_levels(self, rng):
+        x = rng.random((200, 6))
+        out = discretize_even_inputs(x, rng)
+        for j in (1, 3, 5):
+            assert set(np.unique(out[:, j])).issubset(set(MIXED_LEVELS))
+
+    def test_discretize_keeps_odd_inputs(self, rng):
+        x = rng.random((200, 5))
+        out = discretize_even_inputs(x, rng)
+        for j in (0, 2, 4):
+            np.testing.assert_array_equal(out[:, j], x[:, j])
+
+    def test_discretize_does_not_mutate_input(self, rng):
+        x = rng.random((50, 4))
+        original = x.copy()
+        discretize_even_inputs(x, rng)
+        np.testing.assert_array_equal(x, original)
+
+
+class TestSamplerRegistry:
+    @pytest.mark.parametrize("name", ["lhs", "halton", "uniform"])
+    def test_lookup(self, name, rng):
+        sampler = get_sampler(name)
+        assert sampler(8, 2, rng).shape == (8, 2)
+
+    def test_unknown_sampler(self):
+        with pytest.raises(KeyError, match="unknown sampler"):
+            get_sampler("sobol-scrambled")

@@ -1,0 +1,120 @@
+"""Tests for the statistical-test module."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    friedman_test,
+    posthoc_friedman_conover,
+    rank_methods,
+    wilcoxon_mann_whitney,
+)
+
+
+def _scores_with_clear_winner(n=20, seed=0):
+    """Method 0 clearly best, 1 middling, 2 worst."""
+    gen = np.random.default_rng(seed)
+    base = gen.random((n, 1))
+    return np.hstack([base + 0.5, base + 0.25, base])
+
+
+class TestRanks:
+    def test_best_method_gets_rank_one(self):
+        scores = _scores_with_clear_winner()
+        ranks = rank_methods(scores)
+        np.testing.assert_allclose(ranks[:, 0], 1.0)
+        np.testing.assert_allclose(ranks[:, 2], 3.0)
+
+    def test_lower_is_better_flips(self):
+        scores = _scores_with_clear_winner()
+        ranks = rank_methods(scores, higher_is_better=False)
+        np.testing.assert_allclose(ranks[:, 0], 3.0)
+
+    def test_ties_get_average_rank(self):
+        scores = np.array([[1.0, 1.0, 0.0]] * 3)
+        ranks = rank_methods(scores)
+        np.testing.assert_allclose(ranks[:, 0], 1.5)
+        np.testing.assert_allclose(ranks[:, 1], 1.5)
+
+    @pytest.mark.parametrize("bad", [np.zeros(5), np.zeros((1, 3)),
+                                     np.zeros((5, 1))])
+    def test_bad_shapes_rejected(self, bad):
+        with pytest.raises(ValueError):
+            rank_methods(bad)
+
+    def test_nan_rejected(self):
+        scores = np.full((4, 3), np.nan)
+        with pytest.raises(ValueError):
+            rank_methods(scores)
+
+
+class TestFriedman:
+    def test_detects_clear_differences(self):
+        result = friedman_test(_scores_with_clear_winner())
+        assert result.p_value < 1e-4
+        assert result.mean_ranks[0] < result.mean_ranks[2]
+
+    def test_no_difference_high_p(self):
+        gen = np.random.default_rng(1)
+        scores = gen.random((30, 3))  # iid: no method effect
+        result = friedman_test(scores)
+        assert result.p_value > 0.01
+
+    def test_mean_ranks_sum(self):
+        result = friedman_test(_scores_with_clear_winner())
+        k = 3
+        assert result.mean_ranks.sum() == pytest.approx(k * (k + 1) / 2)
+
+
+class TestPosthoc:
+    def test_shape_and_diagonal(self):
+        p = posthoc_friedman_conover(_scores_with_clear_winner())
+        assert p.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(p), 1.0)
+
+    def test_symmetry(self):
+        p = posthoc_friedman_conover(_scores_with_clear_winner())
+        np.testing.assert_allclose(p, p.T)
+
+    def test_clear_winner_significant(self):
+        p = posthoc_friedman_conover(_scores_with_clear_winner())
+        assert p[0, 2] < 0.001
+
+    def test_identical_methods_not_significant(self):
+        gen = np.random.default_rng(2)
+        base = gen.random((25, 1))
+        noise = gen.normal(0, 0.01, (25, 3))
+        scores = np.hstack([base, base, base]) + noise
+        p = posthoc_friedman_conover(scores)
+        # Pure noise differences: no confident separation expected.
+        assert p[0, 1] > 0.001
+
+    def test_all_tied_returns_ones(self):
+        scores = np.ones((10, 3))
+        p = posthoc_friedman_conover(scores)
+        np.testing.assert_allclose(p, 1.0)
+
+    def test_perfectly_consistent_rankings(self):
+        """Zero rank variance must not divide by zero."""
+        scores = np.tile(np.array([3.0, 2.0, 1.0]), (8, 1))
+        p = posthoc_friedman_conover(scores)
+        assert p[0, 2] < 0.05
+        np.testing.assert_allclose(np.diag(p), 1.0)
+
+
+class TestWMW:
+    def test_shifted_samples_significant(self):
+        gen = np.random.default_rng(3)
+        a = gen.normal(1.0, 0.2, 50)
+        b = gen.normal(0.0, 0.2, 50)
+        assert wilcoxon_mann_whitney(a, b, "greater") < 1e-10
+
+    def test_equal_samples_not_significant(self):
+        gen = np.random.default_rng(4)
+        a = gen.normal(0, 1, 50)
+        b = gen.normal(0, 1, 50)
+        assert wilcoxon_mann_whitney(a, b, "greater") > 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_mann_whitney(np.array([]), np.array([1.0]))

@@ -1,0 +1,93 @@
+"""Tests for subgroup-set (covering output) quality measures."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.subgroup_set import (
+    evaluate_subgroup_set,
+    joint_coverage,
+)
+from repro.subgroup.box import Hyperbox
+from repro.subgroup.covering import covering
+from repro.subgroup.prim import prim_peel
+
+
+def _box(lo, hi):
+    return Hyperbox(np.array(lo, dtype=float), np.array(hi, dtype=float))
+
+
+class TestJointCoverage:
+    def test_empty_set_covers_nothing(self, rng):
+        x = rng.random((20, 2))
+        assert not joint_coverage([], x).any()
+
+    def test_union_semantics(self):
+        x = np.array([[0.1], [0.5], [0.9]])
+        boxes = [_box([0.0], [0.2]), _box([0.8], [1.0])]
+        np.testing.assert_array_equal(
+            joint_coverage(boxes, x), [True, False, True])
+
+
+class TestEvaluateSet:
+    def setup_method(self):
+        # Two clusters of positives plus background.
+        gen = np.random.default_rng(0)
+        self.x = gen.random((1000, 2))
+        in_a = ((self.x >= 0.05) & (self.x <= 0.30)).all(axis=1)
+        in_b = ((self.x >= 0.70) & (self.x <= 0.95)).all(axis=1)
+        self.y = (in_a | in_b).astype(float)
+        self.box_a = _box([0.05, 0.05], [0.30, 0.30])
+        self.box_b = _box([0.70, 0.70], [0.95, 0.95])
+
+    def test_empty_set(self):
+        quality = evaluate_subgroup_set([], self.x, self.y)
+        assert quality.n_boxes == 0
+        assert quality.uncovered_positive_share == 1.0
+
+    def test_two_perfect_boxes(self):
+        quality = evaluate_subgroup_set([self.box_a, self.box_b],
+                                        self.x, self.y)
+        assert quality.n_boxes == 2
+        assert quality.mean_precision == pytest.approx(1.0)
+        assert quality.joint_recall == pytest.approx(1.0)
+        assert quality.joint_precision == pytest.approx(1.0)
+        assert quality.uncovered_positive_share == pytest.approx(0.0)
+        # Disjoint boxes: no overlap.
+        assert quality.overlap_rate == 0.0
+
+    def test_single_box_misses_other_cluster(self):
+        quality = evaluate_subgroup_set([self.box_a], self.x, self.y)
+        assert 0.0 < quality.joint_recall < 1.0
+        assert quality.uncovered_positive_share == pytest.approx(
+            1.0 - quality.joint_recall)
+
+    def test_overlapping_boxes_detected(self):
+        near_duplicate = _box([0.06, 0.06], [0.31, 0.31])
+        quality = evaluate_subgroup_set([self.box_a, near_duplicate],
+                                        self.x, self.y)
+        assert quality.overlap_rate > 0.5
+
+    def test_mean_recall_vs_joint_recall(self):
+        """Joint recall of complementary boxes exceeds the mean."""
+        quality = evaluate_subgroup_set([self.box_a, self.box_b],
+                                        self.x, self.y)
+        assert quality.joint_recall > quality.mean_recall
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_subgroup_set([self.box_a], rng.random((5, 2)), np.zeros(3))
+
+    def test_integration_with_covering(self):
+        def discover(x, y):
+            return prim_peel(x, y).chosen_box
+        boxes = covering(self.x, self.y, discover, n_subgroups=2)
+        quality = evaluate_subgroup_set(boxes, self.x, self.y)
+        assert quality.n_boxes == 2
+        assert quality.joint_recall > 0.7
+        assert quality.mean_precision > 0.7
+
+    def test_all_negative_labels(self, rng):
+        x = rng.random((100, 2))
+        quality = evaluate_subgroup_set([self.box_a], x, np.zeros(100))
+        assert quality.joint_recall == 0.0
+        assert quality.uncovered_positive_share == 0.0

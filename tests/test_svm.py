@@ -1,0 +1,111 @@
+"""Tests for the SMO-trained RBF SVM."""
+
+import numpy as np
+import pytest
+
+from repro.metamodels.svm import SVMModel, median_gamma, rbf_kernel
+from tests.conftest import planted_box_data
+
+
+class TestKernel:
+    def test_diagonal_is_one(self, rng):
+        x = rng.random((10, 3))
+        k = rbf_kernel(x, x, gamma=2.0)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_symmetry(self, rng):
+        x = rng.random((15, 4))
+        k = rbf_kernel(x, x, gamma=0.7)
+        np.testing.assert_allclose(k, k.T, atol=1e-12)
+
+    def test_values_in_unit_interval(self, rng):
+        k = rbf_kernel(rng.random((8, 2)), rng.random((9, 2)), gamma=1.0)
+        assert (k > 0).all() and (k <= 1).all()
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        assert rbf_kernel(a, b, gamma=0.5)[0, 0] == pytest.approx(np.exp(-0.5))
+
+    def test_median_gamma_positive(self, rng):
+        assert median_gamma(rng.random((100, 5))) > 0
+
+    def test_median_gamma_scales_inversely_with_spread(self, rng):
+        x = rng.random((200, 3))
+        assert median_gamma(10.0 * x) < median_gamma(x)
+
+
+class TestTraining:
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            SVMModel(c=0.0)
+
+    def test_rejects_unfitted(self, rng):
+        with pytest.raises(RuntimeError):
+            SVMModel().decision_function(rng.random((3, 2)))
+
+    def test_linearly_separable(self):
+        gen = np.random.default_rng(0)
+        x = np.vstack([gen.normal(-2, 0.5, (50, 2)), gen.normal(2, 0.5, (50, 2))])
+        y = np.repeat([0, 1], 50)
+        model = SVMModel(c=10.0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.98
+
+    def test_xor_needs_kernel(self):
+        """The RBF kernel separates XOR, which no linear model can."""
+        gen = np.random.default_rng(1)
+        x = gen.random((400, 2))
+        y = ((x[:, 0] > 0.5) ^ (x[:, 1] > 0.5)).astype(int)
+        model = SVMModel(c=10.0, gamma=10.0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_planted_box(self):
+        x, y, box = planted_box_data(600, 3, seed=8)
+        model = SVMModel(c=10.0).fit(x, y)
+        grid = np.random.default_rng(3).random((1500, 3))
+        assert (model.predict(grid) == box.contains(grid)).mean() > 0.85
+
+    def test_single_class_degenerates_gracefully(self, rng):
+        x = rng.random((20, 2))
+        model = SVMModel().fit(x, np.ones(20))
+        assert (model.predict(rng.random((10, 2))) == 1).all()
+
+    def test_dual_constraint_satisfied(self):
+        """sum(alpha_i * y_i) = 0 at the SMO solution."""
+        x, y, _ = planted_box_data(300, 2, seed=9)
+        model = SVMModel(c=1.0).fit(x, y)
+        assert abs(model.support_coef_.sum()) < 1e-6
+
+    def test_box_constraint_satisfied(self):
+        x, y, _ = planted_box_data(300, 2, seed=10)
+        c = 2.0
+        model = SVMModel(c=c).fit(x, y)
+        assert (np.abs(model.support_coef_) <= c + 1e-9).all()
+
+
+class TestPrediction:
+    def test_platt_probabilities_monotone_in_margin(self):
+        x, y, _ = planted_box_data(400, 2, seed=11)
+        model = SVMModel(c=5.0).fit(x, y)
+        grid = np.random.default_rng(4).random((200, 2))
+        scores = model.decision_function(grid)
+        probs = model.predict_proba(grid)
+        order = np.argsort(scores)
+        assert (np.diff(probs[order]) >= -1e-12).all()
+
+    def test_probabilities_in_unit_interval(self):
+        x, y, _ = planted_box_data(200, 3, seed=12)
+        model = SVMModel().fit(x, y)
+        p = model.predict_proba(np.random.default_rng(5).random((100, 3)))
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_chunked_prediction_matches(self):
+        x, y, _ = planted_box_data(200, 2, seed=13)
+        model = SVMModel().fit(x, y)
+        grid = np.random.default_rng(6).random((500, 2))
+        full = model.decision_function(grid)
+        parts = np.concatenate([
+            model.decision_function(grid[:123]),
+            model.decision_function(grid[123:]),
+        ])
+        np.testing.assert_allclose(full, parts, atol=1e-12)

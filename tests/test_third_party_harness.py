@@ -1,0 +1,58 @@
+"""Tests for the third-party (Section 9.3) evaluation path."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    DEFAULT_THIRD_PARTY_ALPHA,
+    aggregate_third_party,
+    run_third_party,
+)
+
+
+class TestRunThirdParty:
+    def test_record_count(self):
+        records = run_third_party("lake", "P", n_splits=5, n_reps=2,
+                                  tune_metamodel=False)
+        assert len(records) == 10  # 5 folds x 2 repetitions
+
+    def test_fold_sizes(self):
+        records = run_third_party("lake", "P", n_splits=5, n_reps=1,
+                                  tune_metamodel=False)
+        # lake has 1000 rows: each training fold holds 800.
+        assert all(r.n == 800 for r in records)
+
+    def test_metrics_ranges(self):
+        records = run_third_party("TGL", "P", n_splits=5, n_reps=1,
+                                  alpha=DEFAULT_THIRD_PARTY_ALPHA["TGL"],
+                                  tune_metamodel=False)
+        for record in records:
+            assert 0.0 <= record.precision <= 1.0
+            assert 0.0 <= record.pr_auc <= 1.0
+            assert record.n_irrelevant == 0  # no ground truth
+
+    def test_reds_method_runs(self):
+        records = run_third_party("lake", "RPf", n_splits=5, n_reps=1,
+                                  n_new=2000, tune_metamodel=False)
+        assert len(records) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            run_third_party("unknown", "P", n_reps=1)
+
+
+class TestAggregateThirdParty:
+    def test_aggregation_keys_and_consistency(self):
+        records = run_third_party("lake", "P", n_splits=5, n_reps=1,
+                                  tune_metamodel=False)
+        agg = aggregate_third_party(records)
+        assert ("lake", "P") in agg
+        cell = agg[("lake", "P")]
+        assert cell["n_reps"] == 5
+        assert 0.0 <= cell["consistency"] <= 1.0
+        assert cell["n_irrelevant"] == 0.0
+
+    def test_tgl_alpha_convention(self):
+        # The paper uses alpha = 0.1 for TGL following earlier research.
+        assert DEFAULT_THIRD_PARTY_ALPHA["TGL"] == 0.1
+        assert DEFAULT_THIRD_PARTY_ALPHA["lake"] == 0.05
