@@ -4,11 +4,14 @@ Every benchmark prints the paper-style table/series it regenerates and
 also writes it to ``benchmarks/results/<name>.txt`` so the output
 survives pytest's capture.  Scale is controlled by ``REDS_BENCH_SCALE``
 (``quick`` default, ``full`` = paper-sized grid); see
-:mod:`repro.experiments.design`.
+:mod:`repro.experiments.design`.  ``REDS_BENCH_JOBS`` fans the
+experiment grids out over that many worker processes (``0`` = all
+CPUs); the records are identical to a serial run.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -42,6 +45,12 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def jobs_from_env() -> int | None:
+    """Worker count from ``REDS_BENCH_JOBS`` (0 = all CPUs, default 1)."""
+    jobs = int(os.environ.get("REDS_BENCH_JOBS", "1"))
+    return jobs if jobs > 0 else None
+
+
 def pick_l(scale: BenchScale, method: str) -> int | None:
     """The L override for REDS methods at this scale (None otherwise)."""
     spec = parse_method(method)
@@ -61,6 +70,7 @@ def run_method_grid(
     """Run the (function, method, rep) grid with per-method L choices."""
     from repro.experiments.harness import run_batch
 
+    jobs = jobs_from_env()
     records = []
     for method in methods:
         records.extend(run_batch(
@@ -73,5 +83,6 @@ def run_method_grid(
             tune_metamodel=scale.tune_metamodel,
             test_size=scale.test_size,
             bumping_repeats=scale.bumping_repeats,
+            jobs=jobs,
         ))
     return records

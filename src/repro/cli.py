@@ -22,6 +22,7 @@ from repro.experiments.harness import aggregate, get_test_data, run_batch
 from repro.experiments.report import format_table
 from repro.metrics import precision_recall, trajectory_of
 from repro.subgroup.describe import describe_box, describe_trajectory
+from repro.subgroup.prim import ENGINES
 
 __all__ = ["main", "build_parser"]
 
@@ -44,6 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
     one.add_argument("--no-tune", action="store_true",
                      help="skip metamodel hyperparameter tuning")
     one.add_argument("--test-size", type=int, default=10_000)
+    one.add_argument("--engine", choices=ENGINES, default="vectorized",
+                     help="PRIM peeling engine (reference = slow exact twin)")
 
     many = sub.add_parser("compare", help="compare methods on one model")
     many.add_argument("--function", required=True)
@@ -54,6 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("--n-new", type=int, default=20_000)
     many.add_argument("--no-tune", action="store_true")
     many.add_argument("--test-size", type=int, default=10_000)
+    many.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the grid (0 = all CPUs)")
     return parser
 
 
@@ -79,6 +84,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_new=args.n_new,
         tune_metamodel=not args.no_tune,
+        engine=args.engine,
     )
     x_test, y_test = get_test_data(args.function, size=args.test_size)
     _, auc = trajectory_of(result.boxes, x_test, y_test)
@@ -102,6 +108,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         n_new=args.n_new,
         tune_metamodel=not args.no_tune,
         test_size=args.test_size,
+        jobs=args.jobs if args.jobs > 0 else None,
     )
     aggregated = aggregate(records)
     rows = {method: aggregated[(args.function, method)] for method in methods}

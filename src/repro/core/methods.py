@@ -128,6 +128,7 @@ def discover(
     pool: np.ndarray | None = None,
     tune_metamodel: bool = True,
     paste: bool = False,
+    engine: str = "vectorized",
 ) -> DiscoveryResult:
     """Run the method ``name`` on dataset ``(x, y)``.
 
@@ -135,7 +136,9 @@ def discover(
     ``alpha`` is used when the method does not optimise it; ``n_new``
     overrides the ``L`` default; ``sampler``/``pool`` set the REDS input
     distribution (Sections 9.1.2 / 9.4); ``tune_metamodel`` can disable
-    the caret-style metamodel grid search for quick runs.
+    the caret-style metamodel grid search for quick runs; ``engine``
+    selects the PRIM peeling engine (``"vectorized"`` / ``"reference"``,
+    see :func:`repro.subgroup.prim.prim_peel`).
     """
     spec = parse_method(name)
     x = np.asarray(x, dtype=float)
@@ -181,13 +184,15 @@ def discover(
         def run_sd(data_x: np.ndarray, data_y: np.ndarray):
             return prim_peel(data_x, data_y, alpha=alpha,
                              min_support=min_support, paste=paste,
-                             x_val=validation[0], y_val=validation[1])
+                             x_val=validation[0], y_val=validation[1],
+                             engine=engine)
     elif spec.sd == "bumping":
         def run_sd(data_x: np.ndarray, data_y: np.ndarray):
             return prim_bumping(
                 data_x, data_y, alpha=alpha, min_support=min_support,
                 n_repeats=n_repeats, n_features=depth, rng=rng,
                 x_val=validation[0], y_val=validation[1],
+                engine=engine,
             )
     else:
         def run_sd(data_x: np.ndarray, data_y: np.ndarray):

@@ -227,10 +227,22 @@ def list_models() -> tuple[str, ...]:
     return ALL_FUNCTIONS
 
 
+@lru_cache(maxsize=None)
 def third_party_dataset(name: str) -> tuple[np.ndarray, np.ndarray]:
-    """The fixed third-party tables of Section 9.3 (``"TGL"``, ``"lake"``)."""
+    """The fixed third-party tables of Section 9.3 (``"TGL"``, ``"lake"``).
+
+    Cached: repeated cross-validation re-reads the same fixed table per
+    (repetition, fold) cell, and the lake table alone takes a 100-step
+    simulation to build.  As with ``get_test_data``, the cached arrays
+    are read-only so no caller can corrupt them for everyone else.
+    """
     if name == "TGL":
-        return tgl_dataset()
-    if name == "lake":
-        return lake_dataset()
-    raise KeyError(f"unknown third-party dataset {name!r}; available: {THIRD_PARTY}")
+        x, y = tgl_dataset()
+    elif name == "lake":
+        x, y = lake_dataset()
+    else:
+        raise KeyError(
+            f"unknown third-party dataset {name!r}; available: {THIRD_PARTY}")
+    x.setflags(write=False)
+    y.setflags(write=False)
+    return x, y

@@ -2,6 +2,8 @@
 
 :mod:`repro.experiments.harness` runs (function, method, N, seed)
 combinations and aggregates the paper's quality measures;
+:mod:`repro.experiments.parallel` fans those grids out over a process
+pool (the ``jobs`` knob) with results identical to the serial loop;
 :mod:`repro.experiments.design` holds the per-table/figure experiment
 configurations; :mod:`repro.experiments.report` renders the paper's
 table rows and figure series as text.
@@ -20,6 +22,7 @@ from repro.experiments.harness import (
     get_test_data,
 )
 from repro.experiments.design import BenchScale, scale_from_env, EXPERIMENTS
+from repro.experiments.parallel import default_jobs, execute, warm_test_cache
 
 __all__ = [
     "RunRecord",
@@ -35,4 +38,7 @@ __all__ = [
     "BenchScale",
     "scale_from_env",
     "EXPERIMENTS",
+    "default_jobs",
+    "execute",
+    "warm_test_cache",
 ]

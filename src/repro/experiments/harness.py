@@ -117,6 +117,9 @@ def get_test_data(function: str, variant: str = "continuous",
 
     Cached: generating 20000 dsgc simulations takes a few seconds and
     every method comparison reuses the same test set, like the paper.
+    The returned arrays are read-only — the cache hands every caller
+    the same objects, so an in-place edit would silently corrupt the
+    test set of every later run.
     """
     model = get_model(function)
     rng = np.random.default_rng(_TEST_SEED)
@@ -125,7 +128,10 @@ def get_test_data(function: str, variant: str = "continuous",
     else:
         x = rng.random((size, model.dim))
         x = _variant_postprocess(x, variant, rng)
-    return x, model.label(x, rng)
+    y = model.label(x, rng)
+    x.setflags(write=False)
+    y.setflags(write=False)
+    return x, y
 
 
 def reds_sampler_for(variant: str) -> Sampler | None:
@@ -226,19 +232,77 @@ def run_batch(
     base_seed: int = 1_000,
     test_size: int = _TEST_SIZE,
     bumping_repeats: int = 50,
+    jobs: int | None = 1,
 ) -> list[RunRecord]:
-    """The full grid: every function x method x repetition."""
-    records = []
-    for function in functions:
-        for method in methods:
-            for rep in range(n_reps):
-                records.append(run_single(
-                    function, method, n, base_seed + rep,
-                    variant=variant, n_new=n_new,
-                    tune_metamodel=tune_metamodel, test_size=test_size,
-                    bumping_repeats=bumping_repeats,
-                ))
-    return records
+    """The full grid: every function x method x repetition.
+
+    With ``jobs`` > 1 (or None for all CPUs) the grid is dispatched
+    over a process pool; every task carries its grid-position seed and
+    results come back in grid order, so the records are identical to
+    the serial run whatever the worker scheduling.
+    """
+    from repro.experiments.parallel import execute
+
+    tasks = [
+        dict(function=function, method=method, n=n, seed=base_seed + rep,
+             variant=variant, n_new=n_new, tune_metamodel=tune_metamodel,
+             test_size=test_size, bumping_repeats=bumping_repeats)
+        for function in functions
+        for method in methods
+        for rep in range(n_reps)
+    ]
+    warmup = sorted({(function, variant, test_size) for function in functions})
+    return execute(run_single, tasks, jobs, warmup=warmup)
+
+
+def _third_party_single(
+    dataset: str,
+    method: str,
+    rep: int,
+    fold: int,
+    *,
+    n_splits: int = 5,
+    alpha: float = DEFAULT_THIRD_PARTY_ALPHA["lake"],
+    n_new: int | None = None,
+    tune_metamodel: bool = True,
+    base_seed: int = 77,
+) -> RunRecord:
+    """One (repetition, fold) cell of the Section 9.3 cross-validation.
+
+    Rebuilds the fold split from its seeds instead of shipping arrays,
+    so a worker process reaches the exact same train/test rows as the
+    serial loop.
+    """
+    from repro.data import third_party_dataset
+    from repro.metamodels.tuning import KFold
+
+    x, y = third_party_dataset(dataset)
+    splits = list(KFold(n_splits, seed=base_seed + rep).split(len(x)))
+    train, test = splits[fold]
+    result = discover(
+        method, x[train], y[train],
+        seed=base_seed + rep * n_splits + fold,
+        alpha=alpha,
+        n_new=n_new,
+        tune_metamodel=tune_metamodel,
+    )
+    trajectory = peeling_trajectory(result.boxes, x[test], y[test])
+    prec, rec = precision_recall(result.chosen_box, x[test], y[test])
+    return RunRecord(
+        function=dataset,
+        method=method,
+        n=len(train),
+        seed=base_seed + rep * n_splits + fold,
+        pr_auc=pr_auc(trajectory),
+        precision=prec,
+        recall=rec,
+        wracc=wracc_score(result.chosen_box, x[test], y[test]),
+        n_restricted=result.chosen_box.n_restricted,
+        n_irrelevant=0,  # no ground truth for third-party data
+        runtime=result.runtime,
+        chosen_box=result.chosen_box,
+        trajectory=trajectory,
+    )
 
 
 def run_third_party(
@@ -251,46 +315,25 @@ def run_third_party(
     n_new: int | None = None,
     tune_metamodel: bool = True,
     base_seed: int = 77,
+    jobs: int | None = 1,
 ) -> list[RunRecord]:
     """Section 9.3: repeated k-fold cross-validation on a fixed table.
 
     No simulation model exists, so quality is measured on held-out
     folds; the paper runs 5-fold CV ten times and averages.  For "TGL"
-    the paper follows earlier work and uses ``alpha = 0.1``.
+    the paper follows earlier work and uses ``alpha = 0.1``.  ``jobs``
+    parallelises the (repetition, fold) cells like :func:`run_batch`.
     """
-    from repro.data import third_party_dataset
-    from repro.metamodels.tuning import KFold
+    from repro.experiments.parallel import execute
 
-    x, y = third_party_dataset(dataset)
-    records = []
-    for rep in range(n_reps):
-        for fold, (train, test) in enumerate(
-                KFold(n_splits, seed=base_seed + rep).split(len(x))):
-            result = discover(
-                method, x[train], y[train],
-                seed=base_seed + rep * n_splits + fold,
-                alpha=alpha,
-                n_new=n_new,
-                tune_metamodel=tune_metamodel,
-            )
-            trajectory = peeling_trajectory(result.boxes, x[test], y[test])
-            prec, rec = precision_recall(result.chosen_box, x[test], y[test])
-            records.append(RunRecord(
-                function=dataset,
-                method=method,
-                n=len(train),
-                seed=base_seed + rep * n_splits + fold,
-                pr_auc=pr_auc(trajectory),
-                precision=prec,
-                recall=rec,
-                wracc=wracc_score(result.chosen_box, x[test], y[test]),
-                n_restricted=result.chosen_box.n_restricted,
-                n_irrelevant=0,  # no ground truth for third-party data
-                runtime=result.runtime,
-                chosen_box=result.chosen_box,
-                trajectory=trajectory,
-            ))
-    return records
+    tasks = [
+        dict(dataset=dataset, method=method, rep=rep, fold=fold,
+             n_splits=n_splits, alpha=alpha, n_new=n_new,
+             tune_metamodel=tune_metamodel, base_seed=base_seed)
+        for rep in range(n_reps)
+        for fold in range(n_splits)
+    ]
+    return execute(_third_party_single, tasks, jobs)
 
 
 def aggregate_third_party(records: list[RunRecord]) -> dict:

@@ -1,0 +1,93 @@
+"""Parallel experiment engine: fan experiment grids out over processes.
+
+:func:`run_batch` and :func:`run_third_party` in
+:mod:`repro.experiments.harness` describe their grids as flat,
+deterministic task lists (one kwargs dict per ``run_single`` /
+``_third_party_single`` call) and hand them to :func:`execute` here.
+Three properties make the parallel path bit-identical to the serial
+one (locked down by ``tests/test_parallel_harness.py``):
+
+* **seed-stable task ordering** — every task carries its explicit seed,
+  computed from its grid position at dispatch time, so the work a task
+  does never depends on which worker picks it up;
+* **deterministic collection** — results are gathered by submission
+  index, not completion order, so the returned list matches the serial
+  loop regardless of worker scheduling;
+* **per-worker test-data cache** — the ``lru_cache`` on
+  :func:`repro.experiments.harness.get_test_data` does not cross
+  process boundaries, so each worker warms its own cache once at
+  startup instead of regenerating the 20000-point test sample for
+  every task it runs.
+
+``jobs <= 1`` falls back to a plain serial loop (no executor, no
+pickling), which is also the default everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["default_jobs", "execute", "warm_test_cache"]
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``: all CPUs, floor 1."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def warm_test_cache(specs: Sequence[tuple[str, str, int]]) -> None:
+    """Fill this process's test-data cache for (function, variant, size)."""
+    from repro.experiments.harness import get_test_data
+
+    for function, variant, size in specs:
+        get_test_data(function, variant, size)
+
+
+def _init_worker(warmup: tuple[tuple[str, str, int], ...]) -> None:
+    """Worker startup: pre-generate the test sets the tasks will need.
+
+    Failures are deliberately swallowed — a broken spec would otherwise
+    crash the worker at bootstrap, while the task that actually needs
+    it reports the real error through its future.
+    """
+    try:
+        warm_test_cache(warmup)
+    except Exception:
+        pass
+
+
+def execute(
+    func: Callable,
+    tasks: Sequence[dict],
+    jobs: int | None = 1,
+    *,
+    warmup: Sequence[tuple[str, str, int]] = (),
+) -> list:
+    """Run ``func(**task)`` for every task, in task-list order.
+
+    ``func`` must be a module-level callable (workers import it by
+    qualified name).  ``jobs=None`` uses :func:`default_jobs`; with
+    ``jobs <= 1`` or fewer than two tasks everything runs inline in
+    this process and ``warmup`` is ignored (the caller's own cache
+    already does the work).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(tasks) <= 1:
+        return [func(**task) for task in tasks]
+
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        initargs=(tuple(warmup),),
+    ) as pool:
+        futures = [pool.submit(func, **task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # Fail fast: don't let a long grid grind to completion
+            # behind an already-doomed run.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise

@@ -7,7 +7,7 @@ several subgroups.
 """
 
 from repro.subgroup.box import Hyperbox
-from repro.subgroup.prim import PRIMResult, prim_peel, OBJECTIVES
+from repro.subgroup.prim import PRIMResult, prim_peel, OBJECTIVES, ENGINES
 from repro.subgroup.bumping import BumpingResult, prim_bumping
 from repro.subgroup.best_interval import BIResult, best_interval, best_interval_for_dim
 from repro.subgroup.covering import covering
@@ -24,6 +24,7 @@ __all__ = [
     "PRIMResult",
     "prim_peel",
     "OBJECTIVES",
+    "ENGINES",
     "BumpingResult",
     "prim_bumping",
     "BIResult",

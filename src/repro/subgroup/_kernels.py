@@ -1,0 +1,330 @@
+"""Vectorized subgroup-discovery kernels: sort once, then run sums.
+
+The reference peel (:func:`repro.subgroup.prim._best_peel`) builds a
+boolean mask and recomputes a mean for every one of the 2M candidate
+cuts of a peeling step.  :class:`VectorizedPeeler` instead sorts every
+dimension once per run and keeps the per-dimension sorted orders up to
+date as the box shrinks (removing rows preserves sortedness, so each
+peel is a filter, not a re-sort).  Every candidate cut keeps a
+contiguous run of a column's sorted points: its support comes from two
+binary searches and its output sum from the box total minus one slice
+sum over the short removed run (about ``alpha * n`` rows) — no
+per-candidate masking at all.
+
+The kernel reproduces the reference semantics exactly:
+
+* quantile cuts keep ties at the boundary inside (``values >= low_q``
+  / ``values <= high_q``), with the quantiles computed from the sorted
+  columns by :func:`sorted_quantile`, a bit-identical replication of
+  ``np.quantile``'s default linear interpolation;
+* when the whole box ties at an extreme value (discrete inputs), the
+  cut falls back to peeling that entire level;
+* all three peeling objectives (``mean`` / ``gain`` / ``wracc``) use
+  :func:`peel_score`, shared with the scalar reference;
+* candidates are ordered as in the reference iteration — dimension
+  major, lower cut before upper cut — and the first maximum wins.  For
+  binary outputs every candidate sum is an exact integer, so the
+  vectorized scores equal the reference's bit for bit and the argmax
+  breaks ties identically; for soft labels, near-tied candidates are
+  re-scored through the reference formula (a pairwise-summed mean over
+  the kept rows in original order) before picking the winner, so exact
+  ties cannot be flipped by slice-sum rounding.
+
+:func:`sorted_group_sums` and :func:`max_sum_run` are the analogous
+sort-once machinery for BestInterval's exact one-dimensional
+refinement (:func:`repro.subgroup.best_interval.best_interval_for_dim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PeelCandidate",
+    "VectorizedPeeler",
+    "best_peel",
+    "peel_score",
+    "sorted_quantile",
+    "sorted_group_sums",
+    "max_sum_run",
+]
+
+#: Relative width of the near-tie window: candidates whose vectorized
+#: score comes this close to the maximum are re-scored exactly.  The
+#: slice-sum rounding error is O(n * eps) ~ 1e-12 for n = 1e4, so 1e-9
+#: comfortably covers it while excluding genuinely distinct candidates.
+_TIE_RTOL = 1e-9
+
+
+def peel_score(objective: str, mean_after: float, kept: int, n: int,
+               mean_before: float, total_mean: float, total_n: int) -> float:
+    """Score of one candidate peel under the given objective."""
+    if objective == "mean":
+        return mean_after
+    if objective == "gain":
+        removed = n - kept
+        return (mean_after - mean_before) / max(removed, 1)
+    # "wracc": coverage-weighted lift of the remaining box w.r.t. the
+    # full dataset.
+    return (kept / total_n) * (mean_after - total_mean)
+
+
+def sorted_quantile(v: np.ndarray, q: float) -> np.ndarray:
+    """Per-column quantile of column-sorted data.
+
+    Bit-identical to ``np.quantile(..., axis=0)`` with the default
+    linear method: virtual index ``(n - 1) * q``, then numpy's
+    branching lerp between the two neighbouring order statistics.
+    """
+    n = v.shape[0]
+    virtual = (n - 1) * q
+    if virtual >= n - 1:
+        return v[n - 1]
+    previous = int(np.floor(virtual))
+    gamma = virtual - previous
+    a = v[previous]
+    b = v[previous + 1]
+    diff = b - a
+    if gamma >= 0.5:
+        return b - diff * (1.0 - gamma)
+    return a + diff * gamma
+
+
+@dataclass(frozen=True)
+class PeelCandidate:
+    """The winning cut of one peeling step.
+
+    ``keep_rows`` holds the ascending row indices (into the arrays the
+    peeler was built from) that survive the cut.
+    """
+
+    dim: int
+    new_lower: float | None
+    new_upper: float | None
+    keep_rows: np.ndarray
+    score: float
+
+
+class VectorizedPeeler:
+    """Incremental candidate-cut evaluator for one PRIM peeling run.
+
+    Construction sorts every dimension once; :meth:`best_peel` scores
+    all 2M candidate cuts of the current box from prefix sums, and
+    :meth:`apply` shrinks the maintained sorted orders to the rows kept
+    by an accepted cut.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, alpha: float,
+                 objective: str, total_mean: float, total_n: int) -> None:
+        self.y = y
+        self.alpha = alpha
+        self.objective = objective
+        self.total_mean = total_mean
+        self.total_n = total_n
+        self.in_box = np.arange(len(x))
+        # Column j of sorted_rows: row indices ordered by x[:, j];
+        # values holds the corresponding (column-sorted) x values.
+        # Fortran order keeps every column contiguous for the
+        # per-column binary searches and slice sums of the hot loop.
+        self.sorted_rows = np.asfortranarray(np.argsort(x, axis=0))
+        self.values = np.asfortranarray(
+            np.take_along_axis(x, self.sorted_rows, axis=0))
+        self._member = np.zeros(len(x), dtype=bool)
+        # Binary outputs make every candidate sum an exact integer, so
+        # the vectorized scores already equal the reference's bit for
+        # bit and no near-tie re-scoring is ever needed.
+        self._exact_sums = bool(np.all((y == 0.0) | (y == 1.0)))
+
+    def best_peel(self) -> PeelCandidate | None:
+        """The best-scoring candidate peel across all 2M faces, or None."""
+        v = self.values
+        n, n_dim = v.shape
+        if n < 2:
+            return None
+        y, rows = self.y, self.sorted_rows
+        y_box = y[self.in_box]
+        total_y = float(y_box.sum())
+        mean_before = float(y_box.mean())
+        low_q = sorted_quantile(v, self.alpha)
+        high_q = sorted_quantile(v, 1.0 - self.alpha)
+
+        # Candidate layout matches the reference iteration order: index
+        # 2j is dimension j's lower cut, 2j + 1 its upper cut.  An
+        # alpha-cut removes only a short sorted run, so each candidate
+        # sum is one slice sum over the removed side, never a full pass.
+        cuts = np.zeros(2 * n_dim, dtype=np.int64)
+        bounds = np.zeros(2 * n_dim)
+        kept = np.zeros(2 * n_dim, dtype=np.int64)
+        kept_sums = np.zeros(2 * n_dim)
+        valid = np.zeros(2 * n_dim, dtype=bool)
+        for j in range(n_dim):
+            vj = v[:, j]
+
+            # Lower cut: drop everything below the alpha-quantile; if
+            # the whole box ties at the minimum, peel that entire level.
+            cut = int(np.searchsorted(vj, low_q[j], side="left"))
+            bound = low_q[j]
+            if cut == 0:
+                cut = int(np.searchsorted(vj, vj[0], side="right"))
+                if cut < n:
+                    bound = vj[cut]
+            if 0 < cut < n:
+                i = 2 * j
+                cuts[i], bounds[i], valid[i] = cut, bound, True
+                kept[i] = n - cut
+                kept_sums[i] = total_y - float(y[rows[:cut, j]].sum())
+
+            # Upper cut: drop everything above the (1 - alpha)-quantile;
+            # same whole-level fallback at the maximum.
+            cut = int(np.searchsorted(vj, high_q[j], side="right"))
+            bound = high_q[j]
+            if cut == n:
+                cut = int(np.searchsorted(vj, vj[n - 1], side="left"))
+                if cut > 0:
+                    bound = vj[cut - 1]
+            if 0 < cut < n:
+                i = 2 * j + 1
+                cuts[i], bounds[i], valid[i] = cut, bound, True
+                kept[i] = cut
+                kept_sums[i] = total_y - float(y[rows[cut:, j]].sum())
+
+        if not valid.any():
+            return None
+
+        mean_after = kept_sums / np.maximum(kept, 1)
+        if self.objective == "mean":
+            scores = mean_after
+        elif self.objective == "gain":
+            scores = (mean_after - mean_before) / np.maximum(n - kept, 1)
+        else:  # "wracc"
+            scores = (kept / self.total_n) * (mean_after - self.total_mean)
+        scores = np.where(valid, scores, -np.inf)
+
+        best = int(np.argmax(scores))
+        if not self._exact_sums:
+            best = self._resolve_near_ties(scores, best, n, cuts, mean_before)
+
+        start, stop = self._keep_run(best, cuts, n)
+        bound = float(bounds[best])
+        is_lower = best % 2 == 0
+        # The removed run is short (about alpha * n rows), so the
+        # ascending kept set comes cheaper from deleting its positions
+        # in the ascending in_box than from sorting the kept slice.
+        removed = np.sort(rows[:start, best // 2] if is_lower
+                          else rows[stop:, best // 2])
+        keep_rows = np.delete(self.in_box, np.searchsorted(self.in_box, removed))
+        return PeelCandidate(
+            dim=best // 2,
+            new_lower=bound if is_lower else None,
+            new_upper=None if is_lower else bound,
+            keep_rows=keep_rows,
+            score=float(scores[best]),
+        )
+
+    @staticmethod
+    def _keep_run(candidate: int, cuts: np.ndarray, n: int) -> tuple[int, int]:
+        """The sorted-order run a candidate keeps: tail for lower cuts,
+        head for upper cuts."""
+        if candidate % 2 == 0:
+            return int(cuts[candidate]), n
+        return 0, int(cuts[candidate])
+
+    def _resolve_near_ties(self, scores: np.ndarray, best: int, n: int,
+                           cuts: np.ndarray, mean_before: float) -> int:
+        """First candidate winning under exact reference scoring.
+
+        Slice sums of soft labels carry rounding noise, so candidates
+        whose true scores are equal (typically cuts keeping the same
+        rows through different dimensions) may come out of the argmax
+        in the wrong order.  Re-score every near-tied candidate the way
+        the reference does — a numpy pairwise mean over the kept rows
+        in original order — and keep the first strict maximum.
+        """
+        best_score = scores[best]
+        tol = _TIE_RTOL * max(1.0, abs(best_score))
+        contenders = np.nonzero(scores >= best_score - tol)[0]
+        if len(contenders) < 2:
+            return best
+        winner, winner_score = best, -np.inf
+        for i in contenders:
+            start, stop = self._keep_run(int(i), cuts, n)
+            rows = np.sort(self.sorted_rows[start:stop, i // 2])
+            exact = peel_score(
+                self.objective, float(self.y[rows].mean()), stop - start, n,
+                mean_before, self.total_mean, self.total_n,
+            )
+            if exact > winner_score:
+                winner, winner_score = int(i), exact
+        return winner
+
+    def apply(self, step: PeelCandidate) -> None:
+        """Shrink the maintained sorted orders to ``step.keep_rows``."""
+        rows = self.sorted_rows
+        n_dim = rows.shape[1]
+        self._member[step.keep_rows] = True
+        keep = self._member[rows]
+        self._member[step.keep_rows] = False
+        n_new = len(step.keep_rows)
+        # Row removal preserves each column's sortedness, so peeling is
+        # a per-column compaction (via the transpose, since each column
+        # keeps a different pattern of positions), never a re-sort.
+        self.sorted_rows = rows.T[keep.T].reshape(n_dim, n_new).T
+        self.values = self.values.T[keep.T].reshape(n_dim, n_new).T
+        self.in_box = step.keep_rows
+
+
+def best_peel(
+    x_box: np.ndarray,
+    y_box: np.ndarray,
+    alpha: float,
+    objective: str = "mean",
+    total_mean: float = 0.0,
+    total_n: int = 1,
+) -> PeelCandidate | None:
+    """One-shot candidate search over the rows of ``x_box``/``y_box``."""
+    peeler = VectorizedPeeler(x_box, y_box, alpha, objective,
+                              total_mean, total_n)
+    return peeler.best_peel()
+
+
+def sorted_group_sums(values: np.ndarray,
+                      weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct values in ascending order plus their summed weights.
+
+    The sort-once/group-reduce step shared by interval optimisers: an
+    interval either includes all points with a value or none of them,
+    so only per-level weight sums matter.
+    """
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    weights = weights[order]
+    boundaries = np.empty(len(values), dtype=bool)
+    boundaries[0] = True
+    boundaries[1:] = values[1:] > values[:-1]
+    group_ids = np.cumsum(boundaries) - 1
+    group_sums = np.bincount(group_ids, weights=weights)
+    return values[boundaries], group_sums
+
+
+def max_sum_run(sums: np.ndarray) -> tuple[int, int, float]:
+    """Kadane's algorithm: (start, end, best_sum) of the max-sum run.
+
+    At least one group is always included; among equal-sum runs the
+    first found is returned.
+    """
+    best_sum = -np.inf
+    best_start = best_end = 0
+    run_sum = 0.0
+    run_start = 0
+    for i, value in enumerate(sums):
+        if run_sum <= 0.0:
+            run_sum = value
+            run_start = i
+        else:
+            run_sum += value
+        if run_sum > best_sum:
+            best_sum = run_sum
+            best_start, best_end = run_start, i
+    return best_start, best_end, float(best_sum)

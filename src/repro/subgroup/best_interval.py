@@ -5,7 +5,8 @@ core subroutine re-optimises one input's interval exactly and in linear
 time after sorting: WRAcc of a box equals ``(sum over covered points of
 (y_i - pi)) / N`` with ``pi = N+/N`` the base rate, so the best interval
 along a dimension is the maximum-sum run of sorted points — Kadane's
-algorithm over groups of equal values.
+algorithm over groups of equal values.  The sort-once/group-reduce step
+is shared with the PRIM peeling kernel (:mod:`repro.subgroup._kernels`).
 
 Soft labels are supported for REDS: the derivation only uses sums of
 ``y``, never counts of positives.
@@ -17,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.subgroup._kernels import max_sum_run, sorted_group_sums
 from repro.subgroup.box import Hyperbox
 
 __all__ = ["BIResult", "best_interval", "best_interval_for_dim", "wracc"]
@@ -68,20 +70,11 @@ def best_interval_for_dim(
     values = x[mask, dim]
     weights = y[mask] - base_rate  # per-point WRAcc contribution * N
 
-    order = np.argsort(values, kind="stable")
-    values = values[order]
-    weights = weights[order]
-
     # Group equal values: an interval either includes all points with a
     # value or none of them.
-    boundaries = np.empty(len(values), dtype=bool)
-    boundaries[0] = True
-    boundaries[1:] = values[1:] > values[:-1]
-    group_ids = np.cumsum(boundaries) - 1
-    group_sums = np.bincount(group_ids, weights=weights)
-    group_values = values[boundaries]
+    group_values, group_sums = sorted_group_sums(values, weights)
 
-    start, end, _ = _max_sum_run(group_sums)
+    start, end, _ = max_sum_run(group_sums)
     lower = float(group_values[start])
     upper = float(group_values[end])
 
@@ -90,28 +83,6 @@ def best_interval_for_dim(
     new_lower = -np.inf if start == 0 else lower
     new_upper = np.inf if end == len(group_values) - 1 else upper
     return box.replace(dim, lower=new_lower, upper=new_upper)
-
-
-def _max_sum_run(sums: np.ndarray) -> tuple[int, int, float]:
-    """Kadane's algorithm: (start, end, best_sum) of the max-sum run.
-
-    At least one group is always included; among equal-sum runs the
-    first found is returned.
-    """
-    best_sum = -np.inf
-    best_start = best_end = 0
-    run_sum = 0.0
-    run_start = 0
-    for i, value in enumerate(sums):
-        if run_sum <= 0.0:
-            run_sum = value
-            run_start = i
-        else:
-            run_sum += value
-        if run_sum > best_sum:
-            best_sum = run_sum
-            best_start, best_end = run_start, i
-    return best_start, best_end, float(best_sum)
 
 
 def _contains_except(x: np.ndarray, box: Hyperbox, skip_dim: int) -> np.ndarray:

@@ -84,12 +84,14 @@ def prim_bumping(
     x_val: np.ndarray | None = None,
     y_val: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
+    engine: str = "vectorized",
 ) -> BumpingResult:
     """Algorithm 2: bootstrap + random feature subsets + Pareto filter.
 
     ``n_features`` is the ``m`` hyperparameter (defaults to all inputs);
     ``n_repeats`` is ``Q``.  Validation data defaults to the training
-    data, as in the paper's experiments.
+    data, as in the paper's experiments.  ``engine`` selects the
+    peeling engine of the inner PRIM runs (see :func:`prim_peel`).
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -112,7 +114,7 @@ def prim_bumping(
         subset = np.sort(rng.choice(dim, size=m, replace=False))
         result = prim_peel(
             x[np.ix_(sample, subset)], y[sample],
-            alpha=alpha, min_support=min_support,
+            alpha=alpha, min_support=min_support, engine=engine,
         )
         for small_box in result.boxes:
             # Embed the m-dimensional box back into the full space.

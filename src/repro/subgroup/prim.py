@@ -24,6 +24,12 @@ the ``objective`` parameter:
 * ``"wracc"`` — maximise the Weighted Relative Accuracy of the
   remaining box with respect to the full dataset, trading purity
   against coverage at every step.
+
+Two peeling engines produce identical results: ``engine="vectorized"``
+(the default) evaluates all candidate cuts through the sort-once /
+prefix-sum kernel in :mod:`repro.subgroup._kernels`, while
+``engine="reference"`` keeps the original per-candidate masking loop
+for differential testing (see ``tests/test_prim_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -32,9 +38,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.subgroup import _kernels
 from repro.subgroup.box import Hyperbox
 
-__all__ = ["PRIMResult", "prim_peel"]
+__all__ = ["PRIMResult", "prim_peel", "OBJECTIVES", "ENGINES"]
 
 
 @dataclass
@@ -67,6 +74,9 @@ def _mean(values: np.ndarray) -> float:
 #: Valid peeling objectives (see module docstring).
 OBJECTIVES = ("mean", "gain", "wracc")
 
+#: Valid peeling engines: the fast kernel and the masking reference.
+ENGINES = ("vectorized", "reference")
+
 
 def prim_peel(
     x: np.ndarray,
@@ -78,6 +88,7 @@ def prim_peel(
     y_val: np.ndarray | None = None,
     paste: bool = False,
     objective: str = "mean",
+    engine: str = "vectorized",
 ) -> PRIMResult:
     """Run one PRIM peeling (and optionally pasting) pass.
 
@@ -98,6 +109,10 @@ def prim_peel(
     objective:
         Peeling criterion: ``"mean"`` (original PRIM), ``"gain"`` or
         ``"wracc"`` (Kwakkel & Jaxa-Rozen style alternatives).
+    engine:
+        ``"vectorized"`` (sort-once/prefix-sum kernel, the default) or
+        ``"reference"`` (per-candidate masking); both return identical
+        results.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -113,6 +128,8 @@ def prim_peel(
         raise ValueError("x_val and y_val must be provided together")
     if objective not in OBJECTIVES:
         raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     if x_val is None:
         x_val, y_val = x, y
     else:
@@ -131,16 +148,30 @@ def prim_peel(
 
     total_mean = _mean(y)
     total_n = len(y)
+    peeler = (None if engine == "reference" else
+              _kernels.VectorizedPeeler(x, y, alpha, objective,
+                                        total_mean, total_n))
     while True:
-        step = _best_peel(x, y, in_box, alpha, objective, total_mean, total_n)
+        if peeler is None:
+            step = _best_peel(x, y, in_box, alpha, objective, total_mean, total_n)
+            new_in_box = None if step is None else in_box[step.keep_mask]
+        else:
+            step = peeler.best_peel()
+            new_in_box = None if step is None else step.keep_rows
         if step is None:
             break
         new_box = box.replace(step.dim, lower=step.new_lower, upper=step.new_upper)
-        new_in_box = in_box[step.keep_mask]
-        new_in_val = in_val[new_box.contains(x_val[in_val])]
+        # A peel only tightens one bound, and in_val already satisfies
+        # the current box, so one column comparison updates membership.
+        if step.new_lower is not None:
+            new_in_val = in_val[x_val[in_val, step.dim] >= step.new_lower]
+        else:
+            new_in_val = in_val[x_val[in_val, step.dim] <= step.new_upper]
         if len(new_in_box) < min_support or len(new_in_val) < min_support:
             break
 
+        if peeler is not None:
+            peeler.apply(step)
         box, in_box, in_val = new_box, new_in_box, new_in_val
         boxes.append(box)
         train_means.append(_mean(y[in_box]))
@@ -178,16 +209,9 @@ class _PeelStep:
     score: float
 
 
-def _peel_score(objective: str, mean_after: float, kept: int, n: int,
-                mean_before: float, total_mean: float, total_n: int) -> float:
-    if objective == "mean":
-        return mean_after
-    if objective == "gain":
-        removed = n - kept
-        return (mean_after - mean_before) / max(removed, 1)
-    # "wracc": coverage-weighted lift of the remaining box w.r.t. the
-    # full dataset.
-    return (kept / total_n) * (mean_after - total_mean)
+# Shared with the vectorized kernel so both engines score candidates
+# through the same formulas.
+_peel_score = _kernels.peel_score
 
 
 def _best_peel(x: np.ndarray, y: np.ndarray, in_box: np.ndarray,

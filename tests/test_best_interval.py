@@ -6,11 +6,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.subgroup._kernels import max_sum_run as _max_sum_run
 from repro.subgroup.best_interval import (
     best_interval,
     best_interval_for_dim,
     wracc,
-    _max_sum_run,
 )
 from repro.subgroup.box import Hyperbox
 from tests.conftest import planted_box_data

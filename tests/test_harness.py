@@ -56,6 +56,18 @@ class TestDataGeneration:
         b = get_test_data("ishigami", size=500)
         assert a[0] is b[0]
 
+    def test_test_data_is_read_only(self):
+        # Regression: the cache hands every caller the same arrays, so
+        # an in-place edit used to corrupt the test set of every later
+        # run sharing the cache entry.
+        x, y = get_test_data("ishigami", size=500)
+        with pytest.raises(ValueError):
+            x[0, 0] = 123.0
+        with pytest.raises(ValueError):
+            y[0] = 123.0
+        x_again, _ = get_test_data("ishigami", size=500)
+        assert x_again[0, 0] != 123.0
+
     def test_reds_sampler_variants(self, rng):
         assert reds_sampler_for("continuous") is None
         mixed = reds_sampler_for("mixed")(50, 4, rng)

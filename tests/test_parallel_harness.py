@@ -1,0 +1,109 @@
+"""Determinism tests for the parallel experiment engine.
+
+``run_batch(..., jobs=4)`` must return ``RunRecord``s identical field
+by field (boxes and trajectories included) to the serial run, in the
+same grid order, no matter how the pool schedules the tasks.  Runtime
+is the one legitimate difference: it is wall-clock measured inside
+each run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.harness import run_batch, run_third_party
+
+
+def assert_records_identical(serial, parallel_records):
+    """Field-by-field equality, boxes included; runtime excluded."""
+    assert len(serial) == len(parallel_records)
+    for a, b in zip(serial, parallel_records):
+        assert (a.function, a.method, a.n, a.seed) == \
+               (b.function, b.method, b.n, b.seed)
+        assert a.pr_auc == b.pr_auc
+        assert a.precision == b.precision
+        assert a.recall == b.recall
+        assert a.wracc == b.wracc
+        assert a.n_restricted == b.n_restricted
+        assert a.n_irrelevant == b.n_irrelevant
+        np.testing.assert_array_equal(a.chosen_box.lower, b.chosen_box.lower)
+        np.testing.assert_array_equal(a.chosen_box.upper, b.chosen_box.upper)
+        np.testing.assert_array_equal(a.trajectory, b.trajectory)
+
+
+def _delayed_echo(index: int) -> int:
+    # Early tasks sleep longest, so completion order is roughly the
+    # reverse of submission order.
+    time.sleep(0.02 * max(8 - index, 0))
+    return index
+
+
+def _fail_on_one(index: int) -> int:
+    if index == 1:
+        raise ValueError("boom")
+    return index
+
+
+class TestExecute:
+    def test_serial_fallback_preserves_order(self):
+        tasks = [dict(index=i) for i in range(5)]
+        assert parallel.execute(_delayed_echo, tasks, jobs=1) == list(range(5))
+
+    def test_results_in_task_order_not_completion_order(self):
+        tasks = [dict(index=i) for i in range(8)]
+        assert parallel.execute(_delayed_echo, tasks, jobs=4) == list(range(8))
+
+    def test_jobs_none_uses_all_cpus(self):
+        assert parallel.default_jobs() >= 1
+        tasks = [dict(index=i) for i in range(3)]
+        assert parallel.execute(_delayed_echo, tasks, jobs=None) == [0, 1, 2]
+
+    def test_single_task_runs_inline(self):
+        assert parallel.execute(_delayed_echo, [dict(index=9)], jobs=8) == [9]
+
+    def test_task_failure_propagates(self):
+        tasks = [dict(index=i) for i in range(6)]
+        with pytest.raises(ValueError, match="boom"):
+            parallel.execute(_fail_on_one, tasks, jobs=2)
+        with pytest.raises(ValueError, match="boom"):
+            parallel.execute(_fail_on_one, tasks, jobs=1)
+
+
+class TestRunBatchParallel:
+    @pytest.fixture(scope="class")
+    def grids(self):
+        kwargs = dict(variant="continuous", test_size=1500)
+        serial = run_batch(("ishigami", "willetal06"), ("P", "BI"), 120, 2,
+                           jobs=1, **kwargs)
+        fanned = run_batch(("ishigami", "willetal06"), ("P", "BI"), 120, 2,
+                           jobs=4, **kwargs)
+        return serial, fanned
+
+    def test_records_identical_to_serial(self, grids):
+        serial, fanned = grids
+        assert_records_identical(serial, fanned)
+
+    def test_grid_order_is_function_method_rep(self, grids):
+        _, fanned = grids
+        keys = [(r.function, r.method, r.seed) for r in fanned]
+        expected = [(fn, m, 1000 + rep)
+                    for fn in ("ishigami", "willetal06")
+                    for m in ("P", "BI")
+                    for rep in range(2)]
+        assert keys == expected
+
+    def test_seeds_depend_on_grid_position_only(self, grids):
+        serial, _ = grids
+        assert [r.seed for r in serial] == [1000, 1001] * 4
+
+
+class TestRunThirdPartyParallel:
+    def test_records_identical_to_serial(self):
+        kwargs = dict(n_splits=3, n_reps=2, tune_metamodel=False)
+        serial = run_third_party("lake", "P", jobs=1, **kwargs)
+        fanned = run_third_party("lake", "P", jobs=3, **kwargs)
+        assert_records_identical(serial, fanned)
+        # rep-major, fold-minor ordering with position-derived seeds
+        assert [r.seed for r in serial] == [77, 78, 79, 80, 81, 82]
