@@ -6,7 +6,11 @@ survives pytest's capture.  Scale is controlled by ``REDS_BENCH_SCALE``
 (``quick`` default, ``full`` = paper-sized grid); see
 :mod:`repro.experiments.design`.  ``REDS_BENCH_JOBS`` fans the
 experiment grids out over that many worker processes (``0`` = all
-CPUs); the records are identical to a serial run.
+CPUs); the records are identical to a serial run.  ``REDS_BENCH_STORE``
+points at a persistent result-store directory: finished grid cells are
+cached there, so re-running a benchmark recomputes only what is missing
+(delete the directory, or change any result-affecting source file, to
+force a cold run).
 """
 
 from __future__ import annotations
@@ -51,6 +55,14 @@ def jobs_from_env() -> int | None:
     return jobs if jobs > 0 else None
 
 
+def store_from_env():
+    """Result store from ``REDS_BENCH_STORE`` (unset/empty = no caching)."""
+    from repro.experiments.store import open_store
+
+    path = os.environ.get("REDS_BENCH_STORE", "").strip()
+    return open_store(path) if path else None
+
+
 def pick_l(scale: BenchScale, method: str) -> int | None:
     """The L override for REDS methods at this scale (None otherwise)."""
     spec = parse_method(method)
@@ -71,6 +83,7 @@ def run_method_grid(
     from repro.experiments.harness import run_batch
 
     jobs = jobs_from_env()
+    store = store_from_env()
     records = []
     for method in methods:
         records.extend(run_batch(
@@ -84,5 +97,6 @@ def run_method_grid(
             test_size=scale.test_size,
             bumping_repeats=scale.bumping_repeats,
             jobs=jobs,
+            store=store,
         ))
     return records

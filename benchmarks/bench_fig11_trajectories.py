@@ -10,7 +10,7 @@ significantly higher (Wilcoxon-Mann-Whitney p < 1e-15 at 50 reps).
 import numpy as np
 from scipy.stats import mannwhitneyu
 
-from _common import emit, pick_l
+from _common import emit, jobs_from_env, pick_l, store_from_env
 from repro.experiments.design import scale_from_env
 from repro.experiments.harness import run_batch
 from repro.experiments.report import format_table, format_trajectory
@@ -29,6 +29,8 @@ def test_fig11_trajectories(benchmark):
                 n_new=pick_l(scale, method),
                 tune_metamodel=scale.tune_metamodel,
                 test_size=scale.test_size,
+                jobs=jobs_from_env(),
+                store=store_from_env(),
             )
         return per_method
 

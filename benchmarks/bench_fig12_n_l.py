@@ -12,7 +12,7 @@ Regenerates the four panels at benchmark scale:
 
 import numpy as np
 
-from _common import emit, pick_l
+from _common import emit, jobs_from_env, pick_l, store_from_env
 from repro.experiments.design import scale_from_env
 from repro.experiments.harness import run_batch
 from repro.experiments.report import format_series
@@ -38,6 +38,8 @@ def test_fig12_n_and_l(benchmark):
                     n_new=pick_l(scale, method),
                     tune_metamodel=scale.tune_metamodel,
                     test_size=scale.test_size,
+                    jobs=jobs_from_env(),
+                    store=store_from_env(),
                 )
                 metric = "wracc" if method in ("BI", "RBIcxp") else "pr_auc"
                 by_n[method].append(_mean_metric(records, metric))
@@ -50,6 +52,8 @@ def test_fig12_n_and_l(benchmark):
                     n_new=l_value,
                     tune_metamodel=scale.tune_metamodel,
                     test_size=scale.test_size,
+                    jobs=jobs_from_env(),
+                    store=store_from_env(),
                 )
                 by_l[method].append(_mean_metric(records, "pr_auc"))
         return by_n, by_l

@@ -12,7 +12,7 @@ on TGL it also lifts PR AUC and precision.
 
 import numpy as np
 
-from _common import emit, jobs_from_env
+from _common import emit, jobs_from_env, store_from_env
 from repro.experiments.design import scale_from_env
 from repro.experiments.harness import (
     DEFAULT_THIRD_PARTY_ALPHA,
@@ -46,6 +46,7 @@ def test_fig13_tab5_thirdparty(benchmark):
                     n_new=n_new,
                     tune_metamodel=scale.tune_metamodel,
                     jobs=jobs_from_env(),
+                    store=store_from_env(),
                 )
         return records
 

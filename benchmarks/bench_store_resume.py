@@ -1,0 +1,88 @@
+"""Store-backed resumable grids: cold run vs warm re-run vs resume.
+
+Times the same ``run_batch`` grid three ways against one persistent
+:class:`~repro.experiments.store.ExperimentStore`:
+
+1. **cold** — empty store, every cell computes and is persisted;
+2. **warm** — identical grid again: every record loads from disk and
+   zero tasks execute (asserted), which is where the speedup comes from;
+3. **resume** — the store is emptied of half its records to simulate an
+   interrupted grid; the re-run executes exactly the missing half.
+
+The warm records must match the cold ones field by field (runtime
+included — it is loaded, not re-measured).  The emitted report shows
+the cold/warm timings and the resulting speedup factor.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _common import emit, jobs_from_env
+from repro.experiments.design import scale_from_env
+from repro.experiments.harness import run_batch
+from repro.experiments.store import ExperimentStore
+
+METHODS = ("P", "BI")
+
+
+def _grid(scale, store):
+    return run_batch(
+        scale.functions[:2], METHODS, scale.n_train, scale.n_reps,
+        tune_metamodel=scale.tune_metamodel,
+        test_size=scale.test_size,
+        bumping_repeats=scale.bumping_repeats,
+        jobs=jobs_from_env(),
+        store=store,
+    )
+
+
+def test_store_resume(benchmark):
+    scale = scale_from_env()
+    root = Path(tempfile.mkdtemp(prefix="reds-store-"))
+    try:
+        cold_store = ExperimentStore(root)
+        start = time.perf_counter()
+        cold = benchmark.pedantic(lambda: _grid(scale, cold_store),
+                                  rounds=1, iterations=1)
+        cold_s = time.perf_counter() - start
+        n_tasks = len(cold)
+        assert cold_store.writes == n_tasks
+
+        warm_store = ExperimentStore(root)
+        start = time.perf_counter()
+        warm = _grid(scale, warm_store)
+        warm_s = time.perf_counter() - start
+        assert warm_store.writes == 0, "warm run must execute zero tasks"
+        assert warm_store.hits == n_tasks
+        for a, b in zip(cold, warm):
+            assert (a.function, a.method, a.n, a.seed) == \
+                   (b.function, b.method, b.n, b.seed)
+            assert a.pr_auc == b.pr_auc and a.wracc == b.wracc
+            assert a.runtime == b.runtime  # loaded, not re-measured
+            np.testing.assert_array_equal(a.trajectory, b.trajectory)
+
+        # Simulate an interrupted grid: drop every other stored record.
+        partial_store = ExperimentStore(root)
+        dropped = sorted(partial_store.keys())[::2]
+        for key in dropped:
+            partial_store.path_for(key).unlink()
+        start = time.perf_counter()
+        resumed = _grid(scale, partial_store)
+        resume_s = time.perf_counter() - start
+        assert partial_store.writes == len(dropped)
+        assert [r.seed for r in resumed] == [r.seed for r in cold]
+
+        emit("store_resume", "\n".join([
+            f"Store-backed grid, {n_tasks} tasks [{scale.name} scale]",
+            "-----------------------------------------",
+            f"cold (empty store):      {cold_s:8.2f} s",
+            f"warm (all cached):       {warm_s:8.2f} s   "
+            f"speedup x{cold_s / max(warm_s, 1e-9):.0f}",
+            f"resume ({len(dropped)} missing):     {resume_s:8.2f} s",
+        ]))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -20,6 +20,7 @@ from repro.core.methods import discover as run_discover
 from repro.data import TABLE1, get_model
 from repro.experiments.harness import aggregate, get_test_data, run_batch
 from repro.experiments.report import format_table
+from repro.experiments.store import open_store
 from repro.metrics import precision_recall, trajectory_of
 from repro.subgroup.describe import describe_box, describe_trajectory
 from repro.subgroup.prim import ENGINES
@@ -59,6 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("--test-size", type=int, default=10_000)
     many.add_argument("--jobs", type=int, default=1,
                       help="worker processes for the grid (0 = all CPUs)")
+    many.add_argument("--store", metavar="DIR", default=None,
+                      help="persistent result store: finished grid cells "
+                           "are cached there and re-used on the next run")
+    cache = many.add_mutually_exclusive_group()
+    cache.add_argument("--resume", dest="resume", action="store_true",
+                       default=True,
+                       help="with --store, load cached records and run only "
+                            "the missing cells (the default)")
+    cache.add_argument("--no-cache", dest="resume", action="store_false",
+                       help="with --store, ignore cached records; recompute "
+                            "everything and overwrite the store entries")
     return parser
 
 
@@ -103,13 +115,19 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    store = open_store(args.store)
     records = run_batch(
         (args.function,), methods, args.n, args.reps,
         n_new=args.n_new,
         tune_metamodel=not args.no_tune,
         test_size=args.test_size,
         jobs=args.jobs if args.jobs > 0 else None,
+        store=store,
+        resume=args.resume,
     )
+    if store is not None:
+        print(f"store {args.store}: {store.hits} cached, "
+              f"{store.writes} computed")
     aggregated = aggregate(records)
     rows = {method: aggregated[(args.function, method)] for method in methods}
     print(format_table(

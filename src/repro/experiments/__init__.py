@@ -4,9 +4,13 @@
 combinations and aggregates the paper's quality measures;
 :mod:`repro.experiments.parallel` fans those grids out over a process
 pool (the ``jobs`` knob) with results identical to the serial loop;
-:mod:`repro.experiments.design` holds the per-table/figure experiment
-configurations; :mod:`repro.experiments.report` renders the paper's
-table rows and figure series as text.
+:mod:`repro.experiments.store` persists finished records in an on-disk
+content-addressed store (the ``store``/``resume`` knobs) so grids are
+resumable and incremental; :mod:`repro.experiments.design` holds the
+per-table/figure experiment configurations;
+:mod:`repro.experiments.report` renders the paper's table rows and
+figure series as text; :mod:`repro.experiments.stats` implements the
+significance tests of Section 9.
 """
 
 from repro.experiments.harness import (
@@ -23,6 +27,13 @@ from repro.experiments.harness import (
 )
 from repro.experiments.design import BenchScale, scale_from_env, EXPERIMENTS
 from repro.experiments.parallel import default_jobs, execute, warm_test_cache
+from repro.experiments.store import (
+    ExperimentStore,
+    ExperimentStoreError,
+    open_store,
+    task_key,
+    code_fingerprint,
+)
 
 __all__ = [
     "RunRecord",
@@ -41,4 +52,9 @@ __all__ = [
     "default_jobs",
     "execute",
     "warm_test_cache",
+    "ExperimentStore",
+    "ExperimentStoreError",
+    "open_store",
+    "task_key",
+    "code_fingerprint",
 ]

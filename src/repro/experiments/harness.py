@@ -163,7 +163,24 @@ def evaluate_boxes(
     y_test: np.ndarray,
     relevant: tuple[int, ...],
 ) -> dict:
-    """All point and trajectory measures of one discovery result."""
+    """All point and trajectory measures of one discovery result.
+
+    Parameters
+    ----------
+    result:
+        Output of :func:`repro.core.methods.discover`.
+    x_test, y_test:
+        The independent test sample (Section 8.1: never training data).
+    relevant:
+        Ground-truth relevant input indices of the model, for the
+        #irrelevant measure.
+
+    Returns
+    -------
+    dict
+        ``pr_auc``, ``precision``, ``recall``, ``wracc``,
+        ``n_restricted``, ``n_irrelevant`` and the ``trajectory`` array.
+    """
     trajectory = peeling_trajectory(result.boxes, x_test, y_test)
     prec, rec = precision_recall(result.chosen_box, x_test, y_test)
     return {
@@ -189,7 +206,39 @@ def run_single(
     test_size: int = _TEST_SIZE,
     bumping_repeats: int = 50,
 ) -> RunRecord:
-    """One experiment: simulate, discover, measure on the test sample."""
+    """One experiment: simulate, discover, measure on the test sample.
+
+    One cell of the Section 8.5 protocol — also the unit of work the
+    parallel engine dispatches and the result store caches, so its
+    output must be a pure function of the arguments.
+
+    Parameters
+    ----------
+    function:
+        Table 1 model name (see ``repro.data.TABLE1``).
+    method:
+        Section 8.2 method name, e.g. ``"P"``, ``"RPx"``, ``"RBIcxp"``.
+    n:
+        Number of simulations in the training set.
+    seed:
+        Seed of this repetition; drives training data and discovery.
+    variant:
+        Input distribution: ``"continuous"`` (9.1.1), ``"mixed"``
+        (9.1.2) or ``"logitnormal"`` (9.4).
+    n_new:
+        REDS ``L`` override (None = method default).
+    tune_metamodel:
+        Run the Section 8.4.3 caret-style metamodel tuning.
+    test_size:
+        Size of the independent test sample.
+    bumping_repeats:
+        ``Q`` of PRIM-with-bumping.
+
+    Returns
+    -------
+    RunRecord
+        Every Table 3-5 measure of the run, evaluated on test data.
+    """
     model = get_model(function)
     x, y = make_train_data(model, n, seed, variant)
     x_test, y_test = get_test_data(function, variant, test_size)
@@ -233,6 +282,8 @@ def run_batch(
     test_size: int = _TEST_SIZE,
     bumping_repeats: int = 50,
     jobs: int | None = 1,
+    store=None,
+    resume: bool = True,
 ) -> list[RunRecord]:
     """The full grid: every function x method x repetition.
 
@@ -240,6 +291,18 @@ def run_batch(
     over a process pool; every task carries its grid-position seed and
     results come back in grid order, so the records are identical to
     the serial run whatever the worker scheduling.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.experiments.store.ExperimentStore` (or
+        directory path): finished cells are loaded instead of re-run
+        and fresh cells are persisted as they complete, making the grid
+        resumable and incremental.  A warm store returns records
+        identical to the cold run while executing zero tasks.
+    resume:
+        With a store, ``False`` ignores existing records (everything
+        recomputes and overwrites); reading is the default.
     """
     from repro.experiments.parallel import execute
 
@@ -252,7 +315,8 @@ def run_batch(
         for rep in range(n_reps)
     ]
     warmup = sorted({(function, variant, test_size) for function in functions})
-    return execute(run_single, tasks, jobs, warmup=warmup)
+    return execute(run_single, tasks, jobs, warmup=warmup,
+                   store=store, resume=resume)
 
 
 def _third_party_single(
@@ -316,13 +380,16 @@ def run_third_party(
     tune_metamodel: bool = True,
     base_seed: int = 77,
     jobs: int | None = 1,
+    store=None,
+    resume: bool = True,
 ) -> list[RunRecord]:
     """Section 9.3: repeated k-fold cross-validation on a fixed table.
 
     No simulation model exists, so quality is measured on held-out
     folds; the paper runs 5-fold CV ten times and averages.  For "TGL"
     the paper follows earlier work and uses ``alpha = 0.1``.  ``jobs``
-    parallelises the (repetition, fold) cells like :func:`run_batch`.
+    parallelises the (repetition, fold) cells like :func:`run_batch`,
+    and ``store``/``resume`` make them cacheable the same way.
     """
     from repro.experiments.parallel import execute
 
@@ -333,7 +400,7 @@ def run_third_party(
         for rep in range(n_reps)
         for fold in range(n_splits)
     ]
-    return execute(_third_party_single, tasks, jobs)
+    return execute(_third_party_single, tasks, jobs, store=store, resume=resume)
 
 
 def aggregate_third_party(records: list[RunRecord]) -> dict:
@@ -362,9 +429,20 @@ def aggregate_third_party(records: list[RunRecord]) -> dict:
 def aggregate(records: list[RunRecord], *, variant: str = "continuous") -> dict:
     """Per-(function, method) means plus cross-repetition consistency.
 
-    Returns ``{(function, method): {metric: value}}`` with the metrics of
-    Tables 3-5: pr_auc, precision, wracc, consistency, n_restricted,
-    n_irrelevant, runtime.
+    Parameters
+    ----------
+    records:
+        Flat record list from :func:`run_batch`.
+    variant:
+        Input-distribution variant the records were generated with;
+        ``"mixed"`` switches consistency to discrete-level volumes.
+
+    Returns
+    -------
+    dict
+        ``{(function, method): {metric: value}}`` with the metrics of
+        Tables 3-5: pr_auc, precision, recall, wracc, consistency,
+        n_restricted, n_irrelevant, runtime, n_reps.
     """
     grouped: dict[tuple[str, str], list[RunRecord]] = {}
     for record in records:

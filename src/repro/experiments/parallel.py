@@ -21,13 +21,22 @@ one (locked down by ``tests/test_parallel_harness.py``):
 
 ``jobs <= 1`` falls back to a plain serial loop (no executor, no
 pickling), which is also the default everywhere.
+
+With ``store=`` (an :class:`~repro.experiments.store.ExperimentStore`
+or a directory path) :func:`execute` becomes resumable: cached records
+are loaded up front, only the missing tasks are dispatched, and every
+fresh record is persisted as soon as the pool returns it.  All store
+I/O happens in the parent process, so workers need no locking and a
+crash mid-grid loses at most the in-flight tasks.
 """
 
 from __future__ import annotations
 
 import os
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.experiments.store import MISSING, open_store
 
 __all__ = ["default_jobs", "execute", "warm_test_cache"]
 
@@ -64,6 +73,8 @@ def execute(
     jobs: int | None = 1,
     *,
     warmup: Sequence[tuple[str, str, int]] = (),
+    store=None,
+    resume: bool = True,
 ) -> list:
     """Run ``func(**task)`` for every task, in task-list order.
 
@@ -72,11 +83,83 @@ def execute(
     ``jobs <= 1`` or fewer than two tasks everything runs inline in
     this process and ``warmup`` is ignored (the caller's own cache
     already does the work).
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.experiments.store.ExperimentStore` (or
+        directory path) of finished records.  With ``resume=True`` the
+        store is consulted first and only keys without a record are
+        executed; every fresh result is persisted before returning.
+        With ``resume=False`` nothing is read — every task recomputes
+        and overwrites its entry (the ``--no-cache`` semantics).
+
+    Returns
+    -------
+    list
+        One result per task, in task-list order, indistinguishable from
+        a storeless serial run: cached and fresh records interleave at
+        their grid positions.
+    """
+    tasks = list(tasks)
+    store = open_store(store)
+    if store is None:
+        return _run_pool(func, tasks, jobs, warmup)
+
+    keys = [store.key(func, task) for task in tasks]
+    results: dict[int, object] = {}
+    pending: list[int] = []
+    for index, key in enumerate(keys):
+        cached = store.get(key) if resume else MISSING
+        if cached is MISSING:
+            pending.append(index)
+        else:
+            results[index] = cached
+
+    # Workers only need the test sets of tasks that actually run; on a
+    # nearly-warm store the unfiltered warmup would regenerate every
+    # grid function's test sample in every worker for nothing.
+    if warmup and pending:
+        needed = {(task.get("function"), task.get("variant", "continuous"),
+                   task.get("test_size"))
+                  for task in (tasks[i] for i in pending)}
+        warmup = [spec for spec in warmup if tuple(spec) in needed]
+
+    # Persist each record the moment its task finishes (completion
+    # order), so an interrupted grid loses at most the in-flight tasks
+    # and the next run resumes from everything that completed.
+    fresh = _run_pool(
+        func, [tasks[i] for i in pending], jobs, warmup,
+        on_result=lambda j, record: store.put(keys[pending[j]], record),
+    )
+    for index, record in zip(pending, fresh):
+        results[index] = record
+    return [results[index] for index in range(len(tasks))]
+
+
+def _run_pool(
+    func: Callable,
+    tasks: Sequence[dict],
+    jobs: int | None,
+    warmup: Sequence[tuple[str, str, int]],
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """The storeless core: serial loop or process-pool fan-out.
+
+    ``on_result(index, record)`` fires once per task as soon as its
+    result is available — in task order serially, in completion order
+    under the pool — and before the full list is returned.
     """
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(tasks) <= 1:
-        return [func(**task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            record = func(**task)
+            if on_result is not None:
+                on_result(index, record)
+            results.append(record)
+        return results
 
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(tasks)),
@@ -85,6 +168,10 @@ def execute(
     ) as pool:
         futures = [pool.submit(func, **task) for task in tasks]
         try:
+            if on_result is not None:
+                index_of = {future: i for i, future in enumerate(futures)}
+                for future in as_completed(futures):
+                    on_result(index_of[future], future.result())
             return [future.result() for future in futures]
         except BaseException:
             # Fail fast: don't let a long grid grind to completion

@@ -27,8 +27,32 @@ def format_table(
 ) -> str:
     """Render ``{method: {metric: value}}`` as an aligned text table.
 
-    ``metrics`` entries are ``(key, label, scale)`` — e.g. PR AUC is
-    reported in percent (scale 100) like the paper.
+    Parameters
+    ----------
+    title:
+        Heading line (underlined in the output).
+    rows:
+        Aggregated cells, e.g. from
+        :func:`repro.experiments.harness.average_over_functions`.
+    metrics:
+        ``(key, label, scale)`` triples — e.g. PR AUC is reported in
+        percent (scale 100) like the paper's tables.
+    method_order:
+        Column order; defaults to ``rows`` insertion order.
+
+    Returns
+    -------
+    str
+        The table, one metric per row, one method per column.
+
+    Examples
+    --------
+    >>> print(format_table("demo", {"P": {"pr_auc": 0.31}},
+    ...                    (("pr_auc", "PR AUC %", 100.0),)))
+    demo
+    ----
+                      P
+    PR AUC %      31.00
     """
     methods = tuple(method_order or rows.keys())
     methods = tuple(m for m in methods if m in rows)

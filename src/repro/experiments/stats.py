@@ -55,8 +55,20 @@ def rank_methods(scores: np.ndarray, higher_is_better: bool = True) -> np.ndarra
 def friedman_test(scores: np.ndarray, higher_is_better: bool = True) -> FriedmanResult:
     """Friedman's chi-squared test: do the methods differ at all?
 
-    ``scores[i, j]`` is the quality of method j on dataset i — the
-    layout of the paper's per-function averages.
+    The omnibus test the paper's Section 9 ranking statements rest on.
+
+    Parameters
+    ----------
+    scores:
+        ``scores[i, j]`` is the quality of method ``j`` on dataset
+        ``i`` — the layout of the paper's per-function averages.
+    higher_is_better:
+        Rank direction (False for e.g. runtime or #restricted).
+
+    Returns
+    -------
+    FriedmanResult
+        Test statistic, p-value, and mean rank per method (1 = best).
     """
     scores = _validate_scores(scores)
     ranks = rank_methods(scores, higher_is_better)
@@ -74,10 +86,22 @@ def posthoc_friedman_conover(
 ) -> np.ndarray:
     """Pairwise post-hoc p-values after a Friedman test (Conover 1999).
 
-    Returns a symmetric (k, k) matrix of p-values; the diagonal is 1.
     The statistic compares rank sums with a t-distribution whose
     variance estimate removes the omnibus chi-squared effect, the
     standard "post-hoc Friedman" procedure the paper references.
+
+    Parameters
+    ----------
+    scores:
+        ``(datasets, methods)`` quality matrix as in
+        :func:`friedman_test`.
+    higher_is_better:
+        Rank direction.
+
+    Returns
+    -------
+    numpy.ndarray
+        Symmetric ``(k, k)`` matrix of p-values; the diagonal is 1.
     """
     scores = _validate_scores(scores)
     ranks = rank_methods(scores, higher_is_better)

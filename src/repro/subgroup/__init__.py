@@ -1,9 +1,20 @@
 """Subgroup-discovery substrate: hyperboxes and the three algorithms.
 
-Implements the algorithms of Section 3 of the paper: PRIM's peeling
-(+ optional pasting), PRIM with bumping (bagged random boxes), and the
-BestInterval beam search, plus the covering approach for finding
-several subgroups.
+Implements the algorithms of Section 3 of the paper, one module each:
+
+* :mod:`repro.subgroup.box` — the hyperbox scenario representation
+  (Section 3.1, Definition 2 volumes);
+* :mod:`repro.subgroup.prim` — PRIM peeling/pasting (Algorithm 1),
+  backed by the vectorized kernel in :mod:`repro.subgroup._kernels`;
+* :mod:`repro.subgroup.bumping` — PRIM with bumping (Algorithm 2);
+* :mod:`repro.subgroup.best_interval` — BestInterval beam search
+  (Algorithm 3);
+* :mod:`repro.subgroup.covering` — several subgroups by successive
+  removal (Section 3.2);
+* :mod:`repro.subgroup.pca_prim` — PCA-PRIM orthogonal rotations
+  (cited related work, Dalal et al. 2013);
+* :mod:`repro.subgroup.describe` — rule rendering for analysts
+  (Section 5).
 """
 
 from repro.subgroup.box import Hyperbox

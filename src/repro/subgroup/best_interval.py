@@ -24,15 +24,37 @@ from repro.subgroup.box import Hyperbox
 __all__ = ["BIResult", "best_interval", "best_interval_for_dim", "wracc"]
 
 
-def wracc(box: Hyperbox, x: np.ndarray, y: np.ndarray) -> float:
-    """Weighted Relative Accuracy of ``box`` on the dataset ``(x, y)``."""
+def wracc(box: Hyperbox, x: np.ndarray, y: np.ndarray,
+          base_rate: float | None = None) -> float:
+    """Weighted Relative Accuracy of ``box`` on the dataset ``(x, y)``.
+
+    The quality measure BI maximises (Section 3.1 of the paper):
+    ``(n/N) * (mean(y inside) - pi)`` with ``pi`` the base rate.
+
+    Parameters
+    ----------
+    x, y:
+        The full dataset; ``y`` may be binary or soft labels in [0, 1].
+    base_rate:
+        Precomputed ``pi = y.mean()``.  The base rate is a constant of
+        the dataset, so callers scoring many boxes (the beam search's
+        inner loop) pass it once instead of re-reducing ``y`` on every
+        call.  ``None`` computes it here.
+
+    Returns
+    -------
+    float
+        The WRAcc value; 0.0 for an empty box.
+    """
     y = np.asarray(y, dtype=float)
+    if base_rate is None:
+        base_rate = float(y.mean())
     inside = box.contains(x)
     n = int(inside.sum())
     if n == 0:
         return 0.0
     total = len(y)
-    return (n / total) * (float(y[inside].mean()) - float(y.mean()))
+    return (n / total) * (float(y[inside].mean()) - base_rate)
 
 
 @dataclass
@@ -53,11 +75,27 @@ def best_interval_for_dim(
 ) -> Hyperbox:
     """Exact best re-optimisation of one dimension's interval.
 
-    Considers the points inside ``box`` on every *other* dimension and
-    finds the closed interval of ``x[:, dim]`` values maximising WRAcc
-    with respect to the full dataset.  Returns the refined box (which
-    may be wider than the current one, or fully unrestricted if no
-    interval beats covering everything).
+    The ``RefineInterval`` subroutine of Algorithm 3: considers the
+    points inside ``box`` on every *other* dimension and finds the
+    closed interval of ``x[:, dim]`` values maximising WRAcc with
+    respect to the full dataset, in ``O(n log n)``.
+
+    Parameters
+    ----------
+    x, y:
+        The full dataset; ``y`` may be binary or soft labels in [0, 1].
+    box:
+        Current candidate box.
+    dim:
+        Index of the input whose interval is re-optimised.
+    base_rate:
+        Precomputed ``pi = y.mean()``; ``None`` computes it here.
+
+    Returns
+    -------
+    Hyperbox
+        The refined box — possibly wider than the current one, or fully
+        unrestricted on ``dim`` if no interval beats covering everything.
     """
     y = np.asarray(y, dtype=float)
     if base_rate is None:
@@ -114,6 +152,12 @@ def best_interval(
     max_iterations:
         Safety cap on the outer while loop (it normally converges in
         about ``depth`` iterations).
+
+    Returns
+    -------
+    BIResult
+        The best box found, its training WRAcc, and the number of beam
+        iterations until convergence.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -141,7 +185,7 @@ def best_interval(
                     continue
                 key = refined.key()
                 if key not in pool:
-                    pool[key] = (refined, wracc(refined, x, y))
+                    pool[key] = (refined, wracc(refined, x, y, base_rate))
 
         ranked = sorted(pool.values(), key=lambda item: -item[1])[:beam_size]
         new_beam = {box.key(): (box, quality) for box, quality in ranked}

@@ -22,7 +22,29 @@ __all__ = ["Hyperbox"]
 
 @dataclass(frozen=True)
 class Hyperbox:
-    """An axis-aligned box with possibly unbounded sides."""
+    """An axis-aligned box with possibly unbounded sides.
+
+    The scenario representation of Section 3.1: a conjunction of
+    per-input intervals, rendered to analysts as an IF-THEN rule.
+    Immutable — every refinement returns a new box.
+
+    Parameters
+    ----------
+    lower, upper:
+        Equal-length bound vectors; ``-inf``/``+inf`` mark an
+        unrestricted side.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> box = Hyperbox.unrestricted(2).replace(0, lower=0.25, upper=0.75)
+    >>> box
+    Hyperbox(0.25 <= a1 <= 0.75)
+    >>> box.contains(np.array([[0.5, 0.9], [0.1, 0.9]])).tolist()
+    [True, False]
+    >>> box.n_restricted, round(box.volume(), 3)
+    (1, 0.5)
+    """
 
     lower: np.ndarray
     upper: np.ndarray

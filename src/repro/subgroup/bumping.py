@@ -88,10 +88,31 @@ def prim_bumping(
 ) -> BumpingResult:
     """Algorithm 2: bootstrap + random feature subsets + Pareto filter.
 
-    ``n_features`` is the ``m`` hyperparameter (defaults to all inputs);
-    ``n_repeats`` is ``Q``.  Validation data defaults to the training
-    data, as in the paper's experiments.  ``engine`` selects the
-    peeling engine of the inner PRIM runs (see :func:`prim_peel`).
+    Parameters
+    ----------
+    x, y:
+        Training data; ``y`` may be binary or soft labels in [0, 1].
+    alpha, min_support:
+        Passed to the inner :func:`prim_peel` runs.
+    n_repeats:
+        The ``Q`` hyperparameter: number of bootstrap PRIM runs.
+    n_features:
+        The ``m`` hyperparameter: random input subset size per run
+        (defaults to all inputs).
+    x_val, y_val:
+        Validation data for the Pareto filter; defaults to the training
+        data, as in the paper's experiments.
+    rng:
+        Source of bootstrap/subset randomness (fresh default if None).
+    engine:
+        Peeling engine of the inner PRIM runs (see :func:`prim_peel`).
+
+    Returns
+    -------
+    BumpingResult
+        The (precision, recall)-non-dominated boxes sorted by
+        decreasing recall — the trajectory for PR AUC — with the
+        highest-precision box as ``chosen_box``.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)

@@ -26,11 +26,26 @@ def covering(
     min_remaining: int = 20,
     min_positives: int = 1,
 ) -> list[Hyperbox]:
-    """Find up to ``n_subgroups`` boxes by successive removal.
+    """Find up to ``n_subgroups`` boxes by successive removal (Sec. 3.2).
 
-    Stops early when fewer than ``min_remaining`` uncovered examples or
-    fewer than ``min_positives`` uncovered positives remain, or when the
-    discovery function returns an unrestricted box (no signal left).
+    Parameters
+    ----------
+    x, y:
+        The full dataset.
+    discover:
+        Any single-box discovery function ``(x, y) -> Hyperbox`` — e.g.
+        a PRIM or BI run reduced to its chosen box.
+    n_subgroups:
+        Maximal number of boxes to return.
+    min_remaining, min_positives:
+        Early-stop thresholds on the uncovered examples/positives.
+
+    Returns
+    -------
+    list of Hyperbox
+        The discovered boxes, first found first.  Stops early when too
+        few uncovered examples or positives remain, or when the
+        discovery function returns an unrestricted box (no signal left).
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.subgroup.box import Hyperbox
 
-__all__ = ["describe_box", "describe_trajectory", "box_to_dict", "BoxSummary"]
+__all__ = ["describe_box", "describe_trajectory", "box_to_dict",
+           "summarize_box", "BoxSummary"]
 
 
 @dataclass(frozen=True)
@@ -63,11 +64,31 @@ def describe_box(
     domain: np.ndarray | None = None,
     digits: int = 3,
 ) -> str:
-    """Render a box as an IF-THEN rule.
+    """Render a box as an IF-THEN rule (the Section 5 presentation).
 
-    ``input_names`` replaces the generic ``a1..aM``; ``domain`` (a
-    ``(2, M)`` array of native bounds) converts the unit-cube bounds to
-    the model's native units — the form an expert expects.
+    Parameters
+    ----------
+    box:
+        The scenario to render.
+    input_names:
+        Replaces the generic ``a1..aM``.
+    domain:
+        A ``(2, M)`` array of native bounds; converts the unit-cube
+        bounds to the model's native units — the form an expert expects.
+    digits:
+        Significant digits per bound.
+
+    Returns
+    -------
+    str
+        One-line rule, e.g. ``IF 0.2 <= a1 <= 0.6 THEN y = 1``.
+
+    Examples
+    --------
+    >>> from repro.subgroup.box import Hyperbox
+    >>> box = Hyperbox.unrestricted(3).replace(0, lower=0.2, upper=0.6)
+    >>> describe_box(box.replace(2, upper=0.5), input_names=["rain", "temp", "cost"])
+    'IF 0.2 <= rain <= 0.6 AND cost <= 0.5 THEN y = 1'
     """
     names = input_names or [f"a{j + 1}" for j in range(box.dim)]
     if len(names) != box.dim:

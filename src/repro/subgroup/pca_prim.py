@@ -111,12 +111,26 @@ def pca_prim(
     y_val: np.ndarray | None = None,
     objective: str = "mean",
 ) -> tuple[PRIMResult, Rotation, list[RotatedBox]]:
-    """Run PRIM in PCA-rotated coordinates.
+    """Run PRIM in PCA-rotated coordinates (Dalal et al. 2013).
 
-    Returns the raw :class:`PRIMResult` (boxes in rotated space), the
-    rotation, and the trajectory wrapped as :class:`RotatedBox` es whose
-    ``contains`` accepts raw points — directly usable with the metric
-    functions that only need membership.
+    Parameters
+    ----------
+    x, y:
+        Training data in original coordinates.
+    alpha, min_support, x_val, y_val, objective:
+        Passed through to :func:`repro.subgroup.prim.prim_peel`, which
+        runs on the rotated inputs (validation inputs are rotated too).
+
+    Returns
+    -------
+    result : PRIMResult
+        The raw peeling result; its boxes live in rotated space.
+    rotation : Rotation
+        The fitted standardise-then-rotate map.
+    rotated : list of RotatedBox
+        The trajectory wrapped so ``contains`` accepts *raw* points —
+        directly usable with the metric functions that only need
+        membership.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)

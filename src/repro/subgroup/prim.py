@@ -113,6 +113,14 @@ def prim_peel(
         ``"vectorized"`` (sort-once/prefix-sum kernel, the default) or
         ``"reference"`` (per-candidate masking); both return identical
         results.
+
+    Returns
+    -------
+    PRIMResult
+        The nested box sequence ``boxes`` (``boxes[0]`` unrestricted),
+        per-box train/validation statistics, and ``chosen`` — the index
+        of the box with the highest validation mean, the paper's "last
+        box" (Section 8.5).
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)

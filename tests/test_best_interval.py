@@ -115,6 +115,14 @@ class TestWRAcc:
         box = Hyperbox.unrestricted(2).replace(0, lower=2.0, upper=3.0)
         assert wracc(box, rng.random((50, 2)), np.ones(50)) == 0.0
 
+    def test_precomputed_base_rate_matches(self, rng):
+        # The beam inner loop passes pi = y.mean() precomputed; both
+        # paths must agree bit for bit on binary and soft labels.
+        x = rng.random((200, 3))
+        for y in (rng.integers(0, 2, 200).astype(float), rng.random(200)):
+            box = Hyperbox.unrestricted(3).replace(1, lower=0.2, upper=0.7)
+            assert wracc(box, x, y, float(y.mean())) == wracc(box, x, y)
+
 
 class TestBeamSearch:
     def test_rejects_bad_beam(self, rng):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.store import ExperimentStore
 
 
 class TestParser:
@@ -29,6 +30,23 @@ class TestParser:
     def test_discover_requires_function(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["discover"])
+
+    def test_compare_store_defaults(self):
+        args = build_parser().parse_args(["compare", "--function", "morris"])
+        assert args.store is None
+        assert args.resume is True
+
+    def test_no_cache_disables_resume(self):
+        args = build_parser().parse_args(
+            ["compare", "--function", "morris", "--store", "d", "--no-cache"])
+        assert args.store == "d"
+        assert args.resume is False
+
+    def test_resume_and_no_cache_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--function", "morris", "--store", "d",
+                 "--resume", "--no-cache"])
 
 
 class TestCommands:
@@ -69,3 +87,60 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PR AUC %" in out
         assert "runtime s" in out
+
+
+class TestCompareStore:
+    """The --store / --resume / --no-cache workflow end to end."""
+
+    ARGS = ["compare", "--function", "willetal06", "--methods", "P,BI",
+            "--n", "120", "--reps", "2", "--no-tune",
+            "--test-size", "1500", "--n-new", "1000"]
+
+    @staticmethod
+    def _table(out: str) -> str:
+        """The metric table, without the store status line and the
+        wall-clock runtime row (re-measured on every fresh run)."""
+        return "\n".join(
+            line for line in out.splitlines()
+            if not line.startswith(("store ", "runtime s")))
+
+    def test_interrupted_grid_resumes_to_cold_result(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "records")
+
+        # Cold serial reference run, no store involved.
+        assert main(self.ARGS) == 0
+        reference = self._table(capsys.readouterr().out)
+
+        # Full store-backed run, then simulate an interruption by
+        # deleting half of the persisted records.
+        assert main(self.ARGS + ["--store", store_dir]) == 0
+        first = capsys.readouterr().out
+        assert "0 cached, 4 computed" in first
+        assert self._table(first) == reference
+
+        store = ExperimentStore(store_dir)
+        for key in sorted(store.keys())[::2]:
+            store.path_for(key).unlink()
+
+        # --resume executes only the two missing cells and reproduces
+        # the cold table exactly.
+        assert main(self.ARGS + ["--store", store_dir, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "2 cached, 2 computed" in resumed
+        assert self._table(resumed) == reference
+
+        # Now warm: nothing left to compute.
+        assert main(self.ARGS + ["--store", store_dir]) == 0
+        warm = capsys.readouterr().out
+        assert "4 cached, 0 computed" in warm
+        assert self._table(warm) == reference
+
+    def test_no_cache_recomputes_but_still_matches(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "records")
+        assert main(self.ARGS + ["--store", store_dir]) == 0
+        cold = self._table(capsys.readouterr().out)
+
+        assert main(self.ARGS + ["--store", store_dir, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached, 4 computed" in out
+        assert self._table(out) == cold
