@@ -15,7 +15,9 @@ force a cold run).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import sys
 from pathlib import Path
 
@@ -47,6 +49,27 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n", file=sys.stderr)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark results as JSON.
+
+    Writes ``benchmarks/results/<name>.json`` with the measurements
+    plus enough environment context (python/numpy versions, machine) to
+    compare the perf trajectory across commits and machines.
+    """
+    import numpy
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        **payload,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def jobs_from_env() -> int | None:

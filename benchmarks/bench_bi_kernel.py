@@ -1,0 +1,151 @@
+"""Microbenchmark: sort-once BI kernel and batched box evaluation.
+
+Times one BestInterval beam search on N = 10000, M = 10 synthetic data
+under both engines (the acceptance bar is a >= 5x speedup of the
+sort-once/memoized kernel over the per-call re-sorting reference) and
+the batched box-evaluation layer against the per-box masking loops it
+replaced in Algorithm 2's precision/recall pass and Pareto filter.
+Both comparisons double as equivalence checks: same boxes, same stats.
+Machine-readable results land in
+``benchmarks/results/BENCH_bi_kernel.json`` so the perf trajectory is
+tracked across commits.
+"""
+
+import time
+
+import numpy as np
+
+from _common import emit, emit_json
+from repro.subgroup._kernels import evaluate_boxes
+from repro.subgroup.best_interval import best_interval
+from repro.subgroup.bumping import (
+    _pareto_front_reference,
+    _precision_recall,
+    pareto_front,
+    prim_bumping,
+)
+from repro.subgroup.box import Hyperbox
+
+N, M = 10_000, 10
+BEAM_SIZE = 5
+REPEATS = 5
+
+BI_SPEEDUP_FLOOR = 5.0
+BOX_EVAL_SPEEDUP_FLOOR = 3.0
+
+
+def _best_of(f, repeats=REPEATS):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = f()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _dataset():
+    rng = np.random.default_rng(7)
+    x = rng.random((N, M))
+    y = ((x[:, 0] > 0.3) & (x[:, 1] < 0.7) & (x[:, 2] > 0.2)
+         & (x[:, 3] < 0.8) & (x[:, 4] > 0.15)).astype(float)
+    return x, y
+
+
+def test_bi_kernel_speedup(benchmark):
+    x, y = _dataset()
+
+    def run():
+        times, results = {}, {}
+        for engine in ("reference", "vectorized"):
+            times[engine], results[engine] = _best_of(
+                lambda engine=engine: best_interval(
+                    x, y, beam_size=BEAM_SIZE, engine=engine))
+        return times, results
+
+    times, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = times["reference"] / times["vectorized"]
+
+    emit("bi_kernel", "\n".join([
+        f"BestInterval engines, N={N}, M={M}, beam={BEAM_SIZE} "
+        f"(best of {REPEATS}):",
+        f"  reference   {times['reference'] * 1e3:8.1f} ms",
+        f"  vectorized  {times['vectorized'] * 1e3:8.1f} ms",
+        f"  speedup     {speedup:8.2f} x",
+    ]))
+    emit_json("BENCH_bi_kernel", {
+        "n": N, "m": M, "beam_size": BEAM_SIZE, "repeats": REPEATS,
+        "reference_seconds": times["reference"],
+        "vectorized_seconds": times["vectorized"],
+        "speedup": speedup,
+        "speedup_floor": BI_SPEEDUP_FLOOR,
+    })
+
+    ref, vec = results["reference"], results["vectorized"]
+    np.testing.assert_array_equal(ref.box.lower, vec.box.lower)
+    np.testing.assert_array_equal(ref.box.upper, vec.box.upper)
+    assert ref.wracc == vec.wracc
+    assert ref.n_iterations == vec.n_iterations
+    assert speedup >= BI_SPEEDUP_FLOOR, \
+        f"sort-once BI kernel only {speedup:.2f}x faster"
+
+
+def test_box_evaluation_batch_speedup(benchmark):
+    """Batched precision/recall + Pareto vs the per-box loops."""
+    x, y = _dataset()
+    rng = np.random.default_rng(0)
+
+    # A realistic pooled-box population: the trajectories of a few
+    # bumping repeats, as Algorithm 2's evaluation pass sees them.
+    result = prim_bumping(x, y, n_repeats=3, rng=rng)
+    boxes = list(result.boxes)
+    gen = np.random.default_rng(5)
+    while len(boxes) < 600:
+        box = Hyperbox.unrestricted(M)
+        for j in range(M):
+            if gen.random() < 0.4:
+                lo, hi = np.sort(gen.random(2))
+                box = box.replace(j, lower=lo, upper=hi)
+        boxes.append(box)
+    total_pos = float(y.sum())
+
+    def loop_pass():
+        stats = np.array([
+            _precision_recall(box, x, y, total_pos) for box in boxes
+        ])
+        return stats, _pareto_front_reference(stats)
+
+    def batched_pass():
+        evaluation = evaluate_boxes(boxes, x, y)
+        stats = np.column_stack(evaluation.precision_recall())
+        return stats, pareto_front(stats)
+
+    def run():
+        loop_time, (loop_stats, loop_front) = _best_of(loop_pass, repeats=3)
+        batch_time, (batch_stats, batch_front) = _best_of(batched_pass,
+                                                          repeats=3)
+        return loop_time, batch_time, (loop_stats, loop_front), \
+            (batch_stats, batch_front)
+
+    loop_time, batch_time, loop_out, batch_out = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    speedup = loop_time / batch_time
+
+    emit("box_eval_batch", "\n".join([
+        f"Box-evaluation pass, {len(boxes)} boxes on N={N}, M={M} "
+        "(precision/recall + Pareto, best of 3):",
+        f"  per-box loops  {loop_time * 1e3:8.1f} ms",
+        f"  batched kernel {batch_time * 1e3:8.1f} ms",
+        f"  speedup        {speedup:8.2f} x",
+    ]))
+    emit_json("BENCH_box_eval_batch", {
+        "n": N, "m": M, "n_boxes": len(boxes),
+        "loop_seconds": loop_time,
+        "batched_seconds": batch_time,
+        "speedup": speedup,
+        "speedup_floor": BOX_EVAL_SPEEDUP_FLOOR,
+    })
+
+    np.testing.assert_array_equal(loop_out[0], batch_out[0])
+    np.testing.assert_array_equal(loop_out[1], batch_out[1])
+    assert speedup >= BOX_EVAL_SPEEDUP_FLOOR, \
+        f"batched box evaluation only {speedup:.2f}x faster"

@@ -137,8 +137,10 @@ def discover(
     overrides the ``L`` default; ``sampler``/``pool`` set the REDS input
     distribution (Sections 9.1.2 / 9.4); ``tune_metamodel`` can disable
     the caret-style metamodel grid search for quick runs; ``engine``
-    selects the PRIM peeling engine (``"vectorized"`` / ``"reference"``,
-    see :func:`repro.subgroup.prim.prim_peel`).
+    selects the subgroup-discovery engine (``"vectorized"`` /
+    ``"reference"``) for both PRIM peeling and the BestInterval beam
+    search (see :func:`repro.subgroup.prim.prim_peel` and
+    :func:`repro.subgroup.best_interval.best_interval`).
     """
     spec = parse_method(name)
     x = np.asarray(x, dtype=float)
@@ -197,7 +199,7 @@ def discover(
     else:
         def run_sd(data_x: np.ndarray, data_y: np.ndarray):
             return best_interval(data_x, data_y, depth=depth,
-                                 beam_size=spec.beam_size)
+                                 beam_size=spec.beam_size, engine=engine)
 
     # ------------------------------------------------------------------
     # Run, possibly through REDS.

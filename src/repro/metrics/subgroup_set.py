@@ -17,7 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.metrics.quality import precision_recall, wracc_score
+from repro.subgroup._kernels import contains_many, evaluate_boxes
 from repro.subgroup.box import Hyperbox
 
 __all__ = ["SubgroupSetQuality", "evaluate_subgroup_set", "joint_coverage"]
@@ -42,10 +42,7 @@ def joint_coverage(boxes: Sequence[Hyperbox], x: np.ndarray) -> np.ndarray:
     """Boolean mask of points covered by at least one box."""
     if not boxes:
         return np.zeros(len(x), dtype=bool)
-    covered = np.zeros(len(x), dtype=bool)
-    for box in boxes:
-        covered |= box.contains(x)
-    return covered
+    return contains_many(boxes, x).any(axis=0)
 
 
 def _pairwise_jaccard(masks: list[np.ndarray]) -> float:
@@ -82,17 +79,21 @@ def evaluate_subgroup_set(
             uncovered_positive_share=1.0 if total_pos else 0.0,
         )
 
-    precisions, recalls, wraccs, restricted = [], [], [], []
-    masks = []
-    for box in boxes:
-        prec, rec = precision_recall(box, x, y)
-        precisions.append(prec)
-        recalls.append(rec)
-        wraccs.append(wracc_score(box, x, y))
-        restricted.append(box.n_restricted)
-        masks.append(box.contains(x))
+    # One batched kernel call replaces the per-box contains /
+    # precision_recall / wracc_score masking passes (three full-data
+    # scans per box); the derived measures match the scalar formulas
+    # of repro.metrics.quality bit for bit.
+    evaluation = evaluate_boxes(boxes, x, y)
+    masks = evaluation.masks
+    precisions, recalls = evaluation.precision_recall()
+    base_rate = float(y.mean())
+    wraccs = np.where(
+        evaluation.n_inside > 0,
+        (evaluation.n_inside / len(y)) * (evaluation.y_means - base_rate),
+        0.0)
+    restricted = [box.n_restricted for box in boxes]
 
-    union = joint_coverage(boxes, x)
+    union = masks.any(axis=0)
     union_pos = float(y[union].sum())
     joint_recall = union_pos / total_pos if total_pos else 0.0
     joint_precision = union_pos / union.sum() if union.any() else 0.0

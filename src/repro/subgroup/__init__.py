@@ -19,9 +19,20 @@ Implements the algorithms of Section 3 of the paper, one module each:
 
 from repro.subgroup.box import Hyperbox
 from repro.subgroup.prim import PRIMResult, prim_peel, OBJECTIVES, ENGINES
-from repro.subgroup.bumping import BumpingResult, prim_bumping
-from repro.subgroup.best_interval import BIResult, best_interval, best_interval_for_dim
+from repro.subgroup.bumping import BumpingResult, pareto_front, prim_bumping
+from repro.subgroup.best_interval import (
+    BIResult,
+    BI_ENGINES,
+    best_interval,
+    best_interval_for_dim,
+)
 from repro.subgroup.covering import covering
+from repro.subgroup._kernels import (
+    BoxBatchEvaluation,
+    SortedDataset,
+    contains_many,
+    evaluate_boxes,
+)
 from repro.subgroup.pca_prim import pca_prim, pca_rotation, Rotation, RotatedBox
 from repro.subgroup.describe import (
     describe_box,
@@ -37,11 +48,17 @@ __all__ = [
     "OBJECTIVES",
     "ENGINES",
     "BumpingResult",
+    "pareto_front",
     "prim_bumping",
     "BIResult",
+    "BI_ENGINES",
     "best_interval",
     "best_interval_for_dim",
     "covering",
+    "BoxBatchEvaluation",
+    "SortedDataset",
+    "contains_many",
+    "evaluate_boxes",
     "pca_prim",
     "pca_rotation",
     "Rotation",

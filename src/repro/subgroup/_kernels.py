@@ -33,6 +33,21 @@ The kernel reproduces the reference semantics exactly:
 :func:`sorted_group_sums` and :func:`max_sum_run` are the analogous
 sort-once machinery for BestInterval's exact one-dimensional
 refinement (:func:`repro.subgroup.best_interval.best_interval_for_dim`).
+:class:`SortedDataset` extends them into a reusable index: the
+per-column stable argsorts of one ``(x, y)`` dataset are computed once
+and shared by every refinement call of a BestInterval beam search —
+filtering a pre-sorted column by a membership mask replaces the
+per-call re-sort, because a stable sort of a subset equals the subset
+of the stable sort.
+
+:func:`contains_many` and :func:`evaluate_boxes` are the batched
+box-evaluation layer: membership of ``n`` points in ``B`` boxes is one
+chunked broadcasted comparison instead of ``B`` Python-level
+:meth:`Hyperbox.contains` calls, with per-box sums and means computed
+through the same reductions as the scalar code paths (pairwise
+``ndarray.sum``/``mean`` over the masked rows; exact integer counts
+for binary labels), so batched consumers stay bit-identical to their
+per-box references.
 """
 
 from __future__ import annotations
@@ -49,6 +64,10 @@ __all__ = [
     "sorted_quantile",
     "sorted_group_sums",
     "max_sum_run",
+    "SortedDataset",
+    "BoxBatchEvaluation",
+    "contains_many",
+    "evaluate_boxes",
 ]
 
 #: Relative width of the near-tie window: candidates whose vectorized
@@ -309,22 +328,282 @@ def sorted_group_sums(values: np.ndarray,
 
 
 def max_sum_run(sums: np.ndarray) -> tuple[int, int, float]:
-    """Kadane's algorithm: (start, end, best_sum) of the max-sum run.
+    """Vectorized Kadane: (start, end, best_sum) of the max-sum run.
 
-    At least one group is always included; among equal-sum runs the
-    first found is returned.
+    The run ending at ``i`` with the largest sum starts right after the
+    lowest prefix sum seen before ``i``, so the whole search is three
+    scans — ``cumsum``, a running ``minimum.accumulate`` of the prefix
+    sums, and one ``argmax`` — instead of a Python-level loop.  Tie
+    handling replicates the sequential reset-on-nonpositive Kadane it
+    replaces: at least one group is always included, among equal-sum
+    runs the first-ending one wins, and the run start is the *latest*
+    index achieving the prefix minimum (a sequential Kadane resets on
+    ``run_sum <= 0``, which keeps the rightmost tied minimum).
+
+    Both BestInterval engines share this scorer (like the PRIM engines
+    share :func:`peel_score`), which is what makes their outputs
+    bit-identical.  Prefix *differences* round differently than
+    restart-based run sums in the last ulp, so on mathematically tied
+    soft-label runs the winner may differ from the pre-vectorization
+    sequential implementation — exact-arithmetic inputs (binary labels
+    with dyadic base rates, integer weights) are unaffected, and the
+    differential test in ``tests/test_bi_equivalence.py`` pins the
+    exact-arithmetic agreement.
     """
-    best_sum = -np.inf
-    best_start = best_end = 0
-    run_sum = 0.0
-    run_start = 0
-    for i, value in enumerate(sums):
-        if run_sum <= 0.0:
-            run_sum = value
-            run_start = i
+    s = np.asarray(sums, dtype=float)
+    n = len(s)
+    if n == 0:
+        return 0, 0, float(-np.inf)
+    prefix = np.cumsum(s)
+    # floor[i] = lowest prefix sum strictly left of i (0.0 for the
+    # empty prefix), computed in place of an explicit shifted copy.
+    running_min = np.minimum.accumulate(prefix)
+    scores = np.empty(n)
+    scores[0] = prefix[0]
+    np.subtract(prefix[1:], np.minimum(running_min[:-1], 0.0),
+                out=scores[1:])
+    end = int(np.argmax(scores))  # first maximum wins
+    floor_at_end = 0.0 if end == 0 else min(float(running_min[end - 1]), 0.0)
+    # Run start: latest index whose left-prefix equals the floor at
+    # `end` (a sequential Kadane resets on run_sum <= 0, keeping the
+    # rightmost tied minimum; the empty prefix before index 0 is 0.0).
+    matches = np.nonzero(prefix[:end] == floor_at_end)[0]
+    start = int(matches[-1]) + 1 if len(matches) else 0
+    return start, end, float(scores[end])
+
+
+class SortedDataset:
+    """Per-column sorted index of one ``(x, y)`` dataset, built once.
+
+    The substrate for vectorized BestInterval refinements: every column
+    of ``x`` is stable-argsorted a single time, and each refinement
+    call filters the pre-sorted column by a membership mask.  Because
+    the argsort is stable, the filtered values and weights come out in
+    exactly the order a fresh ``np.argsort(values, kind="stable")`` of
+    the subset would produce, so group sums (and therefore refined
+    bounds) are bit-identical to the re-sorting reference
+    (:func:`sorted_group_sums`).
+
+    Parameters
+    ----------
+    x, y:
+        The full dataset as float arrays; ``y`` may be binary or soft
+        labels in [0, 1].
+    base_rate:
+        Precomputed ``pi = y.mean()``; ``None`` computes it here.
+    """
+
+    __slots__ = ("x", "y", "n", "dim", "base_rate", "order", "values",
+                 "sorted_weights", "columns")
+
+    def __init__(self, x: np.ndarray, y: np.ndarray,
+                 base_rate: float | None = None) -> None:
+        self.x = np.asarray(x, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        self.n, self.dim = self.x.shape
+        self.base_rate = float(self.y.mean()) if base_rate is None else base_rate
+        # Column j of order: row indices sorted by x[:, j] (stable, so
+        # ties keep ascending row order); values/sorted_weights hold the
+        # corresponding column-sorted x values and WRAcc contributions.
+        # Fortran order keeps each column contiguous for the per-column
+        # filters of the hot loop; columns is the unsorted x in the same
+        # layout for fast single-dimension interval checks.
+        self.order = np.asfortranarray(np.argsort(self.x, axis=0, kind="stable"))
+        self.values = np.asfortranarray(
+            np.take_along_axis(self.x, self.order, axis=0))
+        self.sorted_weights = np.asfortranarray(
+            (self.y - self.base_rate)[self.order])
+        self.columns = np.asfortranarray(self.x)
+
+    def except_masks(self, box):
+        """Membership masks ignoring one dimension, all from one pass.
+
+        Returns a callable ``mask_for(j)`` giving the boolean mask of
+        rows inside ``box`` on every restricted dimension except ``j``
+        — the reference's ``_contains_except`` — but the per-dimension
+        interval checks run once per *box* instead of once per
+        ``(box, dim)`` pair: a row is inside-except-``j`` iff it
+        violates no restricted dimension, or only violates ``j``.
+        """
+        restricted = box.restricted_dims
+        if len(restricted) == 0:
+            everything = np.ones(self.n, dtype=bool)
+            return lambda j: everything
+        # Same comparison direction as the masking reference so that
+        # non-finite values fall on the same side.
+        outside = ~((self.x[:, restricted] >= box.lower[restricted])
+                    & (self.x[:, restricted] <= box.upper[restricted]))
+        violations = outside.sum(axis=1)
+        no_violation = violations == 0
+        only_violation = violations == 1
+        column_of = {int(d): i for i, d in enumerate(restricted)}
+
+        def mask_for(j: int) -> np.ndarray:
+            i = column_of.get(j)
+            if i is None:
+                return no_violation
+            return no_violation | (only_violation & outside[:, i])
+
+        return mask_for
+
+    def interval_bounds(self, j: int,
+                        mask: np.ndarray) -> tuple[float, float] | None:
+        """Best-WRAcc interval of column ``j`` over the rows in ``mask``.
+
+        The sort-free core of one BestInterval refinement: filter the
+        pre-sorted column, group equal values, and run the max-sum-run
+        search over the per-group weight sums.  Returns the
+        ``(lower, upper)`` bounds with ``-inf``/``+inf`` when the
+        winning run touches the data extremes, or ``None`` when the
+        mask selects no rows (the caller keeps the box unchanged).
+        """
+        keep = np.flatnonzero(mask[self.order[:, j]])
+        if len(keep) == 0:
+            return None
+        vals = self.values[:, j].take(keep)
+        weights = self.sorted_weights[:, j].take(keep)
+        boundaries = np.empty(len(vals), dtype=bool)
+        boundaries[0] = True
+        np.greater(vals[1:], vals[:-1], out=boundaries[1:])
+        if boundaries.all():
+            # All values distinct (the common continuous-data case):
+            # every point is its own group, so the group-reduce is the
+            # identity and the whole grouping pass can be skipped.
+            group_sums = weights
+            group_values = vals
         else:
-            run_sum += value
-        if run_sum > best_sum:
-            best_sum = run_sum
-            best_start, best_end = run_start, i
-    return best_start, best_end, float(best_sum)
+            group_ids = np.cumsum(boundaries) - 1
+            group_sums = np.bincount(group_ids, weights=weights)
+            group_values = vals[boundaries]
+        start, end, _ = max_sum_run(group_sums)
+        lower = -np.inf if start == 0 else float(group_values[start])
+        upper = (np.inf if end == len(group_values) - 1
+                 else float(group_values[end]))
+        return lower, upper
+
+
+#: Boolean-element budget per chunk of the batched membership kernel
+#: (chunk_boxes * n_points); bounds peak temporaries to a few MB.
+_CONTAINS_CHUNK_ELEMENTS = 1 << 23
+
+
+def contains_many(boxes, x: np.ndarray) -> np.ndarray:
+    """Membership of every row of ``x`` in every box, batched.
+
+    The batched replacement for per-box :meth:`Hyperbox.contains`
+    loops: box bounds are stacked into ``(B, dim)`` matrices and
+    membership is one broadcasted comparison per dimension, chunked
+    over boxes to bound memory.  Each output row is bit-identical to
+    ``box.contains(x)``.
+
+    Parameters
+    ----------
+    boxes:
+        Sequence of hyperboxes (anything exposing ``lower``/``upper``).
+    x:
+        Data matrix of shape ``(n, dim)``.
+
+    Returns
+    -------
+    np.ndarray
+        Boolean matrix of shape ``(len(boxes), n)``.
+    """
+    # Column-contiguous layout: every dimension's comparison streams
+    # one contiguous column across all boxes (about 3x faster than
+    # striding through C-order rows, for one cheap copy).
+    x = np.asfortranarray(x, dtype=float)
+    n, dim = x.shape
+    n_boxes = len(boxes)
+    out = np.empty((n_boxes, n), dtype=bool)
+    if n_boxes == 0:
+        return out
+    lowers = np.array([box.lower for box in boxes])
+    uppers = np.array([box.upper for box in boxes])
+    chunk = max(1, _CONTAINS_CHUNK_ELEMENTS // max(n, 1))
+    for s in range(0, n_boxes, chunk):
+        lo = lowers[s:s + chunk]
+        hi = uppers[s:s + chunk]
+        inside = np.ones((len(lo), n), dtype=bool)
+        for j in range(dim):
+            column = x[:, j]
+            inside &= column >= lo[:, j, None]
+            inside &= column <= hi[:, j, None]
+        out[s:s + chunk] = inside
+    return out
+
+
+@dataclass(frozen=True)
+class BoxBatchEvaluation:
+    """Per-box coverage statistics of one :func:`evaluate_boxes` call.
+
+    ``y_sums``/``y_means`` are bit-identical to ``y[mask].sum()`` /
+    ``y[mask].mean()`` computed per box (``y_means`` is 0 for empty
+    boxes), so quality measures derived from them match their scalar
+    reference formulas exactly.
+    """
+
+    masks: np.ndarray      # (B, n) bool membership matrix
+    n_inside: np.ndarray   # (B,) int64 coverage counts
+    y_sums: np.ndarray     # (B,) float sums of y over each box
+    y_means: np.ndarray    # (B,) float means of y over each box
+    n_total: int
+    y_total: float
+    base_rate: float
+
+    def precision_recall(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-box ``(n+/n, n+/N+)``, empty boxes / no positives = 0.
+
+        The one shared derivation of the scalar convention
+        (:func:`repro.metrics.quality.precision_recall`): element for
+        element, ``y_sums[i]/n_inside[i]`` and ``y_sums[i]/y_total``
+        with the same zero-guards.
+        """
+        count = len(self.n_inside)
+        precisions = np.divide(
+            self.y_sums, self.n_inside,
+            out=np.zeros(count), where=self.n_inside > 0)
+        recalls = (self.y_sums / self.y_total if self.y_total
+                   else np.zeros(count))
+        return precisions, recalls
+
+
+def evaluate_boxes(boxes, x: np.ndarray, y: np.ndarray,
+                   binary: bool | None = None) -> BoxBatchEvaluation:
+    """Batched coverage statistics for many boxes on one dataset.
+
+    One :func:`contains_many` call replaces the per-box masking loops
+    of the bumping precision/recall pass, the covering loop and the
+    subgroup-set metrics.  For binary labels the per-box positive
+    counts come from one exact integer reduction over the positive
+    columns; for soft labels each box's sum and mean run through the
+    same pairwise ``ndarray`` reductions as the scalar code, keeping
+    every derived measure bit-identical to its reference.
+    """
+    y = np.asarray(y, dtype=float)
+    masks = contains_many(boxes, x)
+    n_inside = masks.sum(axis=1)
+    n_total = len(y)
+    if binary is None:
+        binary = bool(np.all((y == 0.0) | (y == 1.0)))
+    if binary:
+        # Integer sums are exact under any summation order.
+        y_sums = masks[:, y == 1.0].sum(axis=1).astype(float)
+        y_means = np.divide(y_sums, n_inside,
+                            out=np.zeros(len(masks)), where=n_inside > 0)
+    else:
+        y_sums = np.zeros(len(masks))
+        y_means = np.zeros(len(masks))
+        for i, mask in enumerate(masks):
+            if n_inside[i]:
+                covered = y[mask]
+                y_sums[i] = float(covered.sum())
+                y_means[i] = float(covered.mean())
+    return BoxBatchEvaluation(
+        masks=masks,
+        n_inside=n_inside,
+        y_sums=y_sums,
+        y_means=y_means,
+        n_total=n_total,
+        y_total=float(y.sum()),
+        base_rate=float(y.mean()),
+    )

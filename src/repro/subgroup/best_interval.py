@@ -4,12 +4,26 @@ Beam search over hyperboxes maximising Weighted Relative Accuracy.  The
 core subroutine re-optimises one input's interval exactly and in linear
 time after sorting: WRAcc of a box equals ``(sum over covered points of
 (y_i - pi)) / N`` with ``pi = N+/N`` the base rate, so the best interval
-along a dimension is the maximum-sum run of sorted points — Kadane's
-algorithm over groups of equal values.  The sort-once/group-reduce step
-is shared with the PRIM peeling kernel (:mod:`repro.subgroup._kernels`).
+along a dimension is the maximum-sum run of sorted points — a
+max-sum-run search over groups of equal values.  The sort-once
+machinery is shared with the PRIM peeling kernel
+(:mod:`repro.subgroup._kernels`).
 
 Soft labels are supported for REDS: the derivation only uses sums of
 ``y``, never counts of positives.
+
+Two beam-search engines produce identical results:
+``engine="vectorized"`` (the default) rides the
+:class:`~repro.subgroup._kernels.SortedDataset` index — every column
+is sorted once per run, refinements filter the pre-sorted columns,
+``(box, dim)`` refinements are memoized across beam iterations, and
+candidate boxes are scored through the batched
+:func:`~repro.subgroup._kernels.evaluate_boxes` kernel.
+``engine="reference"`` keeps the original per-call re-sorting and
+per-candidate masking loops for differential testing (see
+``tests/test_bi_equivalence.py``).  ``y`` is converted to float once
+at :func:`best_interval` entry; the engines' inner loops never convert
+or copy it again.
 """
 
 from __future__ import annotations
@@ -18,10 +32,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.subgroup._kernels import max_sum_run, sorted_group_sums
+from repro.subgroup._kernels import (
+    SortedDataset,
+    contains_many,
+    max_sum_run,
+    sorted_group_sums,
+)
 from repro.subgroup.box import Hyperbox
 
-__all__ = ["BIResult", "best_interval", "best_interval_for_dim", "wracc"]
+__all__ = ["BIResult", "BI_ENGINES", "best_interval", "best_interval_for_dim",
+           "wracc"]
+
+#: Valid beam-search engines: the sort-once kernel and the re-sorting
+#: masking reference.
+BI_ENGINES = ("vectorized", "reference")
 
 
 def wracc(box: Hyperbox, x: np.ndarray, y: np.ndarray,
@@ -37,9 +61,8 @@ def wracc(box: Hyperbox, x: np.ndarray, y: np.ndarray,
         The full dataset; ``y`` may be binary or soft labels in [0, 1].
     base_rate:
         Precomputed ``pi = y.mean()``.  The base rate is a constant of
-        the dataset, so callers scoring many boxes (the beam search's
-        inner loop) pass it once instead of re-reducing ``y`` on every
-        call.  ``None`` computes it here.
+        the dataset, so callers scoring many boxes pass it once instead
+        of re-reducing ``y`` on every call.  ``None`` computes it here.
 
     Returns
     -------
@@ -100,7 +123,12 @@ def best_interval_for_dim(
     y = np.asarray(y, dtype=float)
     if base_rate is None:
         base_rate = float(y.mean())
+    return _refine_reference(x, y, box, dim, base_rate)
 
+
+def _refine_reference(x: np.ndarray, y: np.ndarray, box: Hyperbox,
+                      dim: int, base_rate: float) -> Hyperbox:
+    """One refinement through the original re-sorting code path."""
     mask = _contains_except(x, box, dim)
     if not mask.any():
         return box
@@ -132,6 +160,115 @@ def _contains_except(x: np.ndarray, box: Hyperbox, skip_dim: int) -> np.ndarray:
     return mask
 
 
+class _ReferenceRefiner:
+    """Per-call masking/re-sorting engine (the original code path)."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float) -> None:
+        self.x = x
+        self.y = y
+        self.base_rate = base_rate
+        self.dim = x.shape[1]
+
+    def refinements(self, box: Hyperbox):
+        for j in range(self.dim):
+            yield _refine_reference(self.x, self.y, box, j, self.base_rate)
+
+    def score(self, pending: dict) -> dict:
+        return {key: (box, wracc(box, self.x, self.y, self.base_rate))
+                for key, box in pending.items()}
+
+
+class _VectorizedRefiner:
+    """Sort-once engine: shared column index, memoized refinements,
+    incremental candidate scoring."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float) -> None:
+        self.dataset = SortedDataset(x, y, base_rate)
+        self.binary = bool(np.all((y == 0.0) | (y == 1.0)))
+        self.positives = (y == 1.0) if self.binary else None
+        # Surviving beam boxes are re-refined on every iteration, and a
+        # refinement only depends on the bounds of the *other*
+        # dimensions (the refined dimension's interval is recomputed
+        # from scratch), so the memo is keyed by that except-footprint:
+        # re-refining a box along the dimension that produced it — or
+        # any sibling differing only there — is a guaranteed hit.
+        # Qualities are cached per box key (WRAcc on the training data
+        # is a pure function of the box) so re-discovered candidates
+        # never re-scan the data either.
+        self.memo: dict[tuple, tuple[float, float] | None] = {}
+        self.quality_cache: dict[tuple, float] = {}
+        # For freshly refined candidates, membership equals the parent's
+        # except-mask intersected with the new interval on the refined
+        # dimension — stashed here so scoring skips the full
+        # all-dimensions contains pass.
+        self._pending_masks: dict[tuple, tuple[np.ndarray, int]] = {}
+
+    def refinements(self, box: Hyperbox):
+        lower_key, upper_key = box.key()
+        mask_for = None
+        for j in range(self.dataset.dim):
+            footprint = (lower_key[:j] + lower_key[j + 1:],
+                         upper_key[:j] + upper_key[j + 1:], j)
+            if footprint in self.memo:
+                bounds = self.memo[footprint]
+                refined = (box if bounds is None
+                           else box.replace(j, lower=bounds[0], upper=bounds[1]))
+            else:
+                if mask_for is None:
+                    mask_for = self.dataset.except_masks(box)
+                mask = mask_for(j)
+                bounds = self.dataset.interval_bounds(j, mask)
+                self.memo[footprint] = bounds
+                refined = (box if bounds is None
+                           else box.replace(j, lower=bounds[0], upper=bounds[1]))
+                key = refined.key()
+                if key not in self._pending_masks:
+                    self._pending_masks[key] = (mask, j)
+            yield refined
+
+    def score(self, pending: dict) -> dict:
+        scored = {}
+        for key, box in pending.items():
+            quality = self.quality_cache.get(key)
+            if quality is None:
+                quality = self._wracc(key, box)
+                self.quality_cache[key] = quality
+            scored[key] = (box, quality)
+        self._pending_masks.clear()
+        return scored
+
+    def _wracc(self, key: tuple, box: Hyperbox) -> float:
+        """WRAcc of one candidate, bit-identical to :func:`wracc`.
+
+        The membership mask comes from the stashed parent except-mask
+        plus one single-column interval check (set-identical to
+        ``box.contains``: the candidate only changed that column's
+        bounds); re-discovered candidates without a stashed mask fall
+        back to the batched contains kernel.
+        """
+        dataset = self.dataset
+        stashed = self._pending_masks.get(key)
+        if stashed is None:
+            # columns is already Fortran-ordered, so the kernel's
+            # column-contiguous conversion is a no-op.
+            inside = contains_many((box,), dataset.columns)[0]
+        else:
+            except_mask, j = stashed
+            column = dataset.columns[:, j]
+            inside = except_mask & (column >= box.lower[j])
+            inside &= column <= box.upper[j]
+        n = int(np.count_nonzero(inside))
+        if n == 0:
+            return 0.0
+        if self.binary:
+            # Pairwise summation of 0/1 labels is an exact integer, so
+            # the count-based mean equals y[inside].mean() bit for bit.
+            mean = int(np.count_nonzero(inside & self.positives)) / n
+        else:
+            mean = float(dataset.y[np.flatnonzero(inside)].mean())
+        return (n / dataset.n) * (mean - dataset.base_rate)
+
+
 def best_interval(
     x: np.ndarray,
     y: np.ndarray,
@@ -139,6 +276,7 @@ def best_interval(
     depth: int | None = None,
     beam_size: int = 1,
     max_iterations: int = 50,
+    engine: str = "vectorized",
 ) -> BIResult:
     """Algorithm 3: beam search with exact one-dimensional refinements.
 
@@ -152,6 +290,12 @@ def best_interval(
     max_iterations:
         Safety cap on the outer while loop (it normally converges in
         about ``depth`` iterations).
+    engine:
+        ``"vectorized"`` (the default) runs refinements over a shared
+        sort-once column index with memoization and batched candidate
+        scoring; ``"reference"`` keeps the original per-call re-sorting
+        loops.  Both return identical results bit for bit (see
+        ``tests/test_bi_equivalence.py``).
 
     Returns
     -------
@@ -167,10 +311,14 @@ def best_interval(
         raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
     if beam_size < 1:
         raise ValueError(f"beam_size must be >= 1, got {beam_size}")
+    if engine not in BI_ENGINES:
+        raise ValueError(f"engine must be one of {BI_ENGINES}, got {engine!r}")
 
     dim = x.shape[1]
     max_restricted = dim if depth is None else max(1, depth)
     base_rate = float(y.mean())
+    refiner = (_VectorizedRefiner(x, y, base_rate) if engine == "vectorized"
+               else _ReferenceRefiner(x, y, base_rate))
 
     start = Hyperbox.unrestricted(dim)
     beam: dict[tuple, tuple[Hyperbox, float]] = {start.key(): (start, 0.0)}
@@ -178,14 +326,15 @@ def best_interval(
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         pool = dict(beam)
+        pending: dict[tuple, Hyperbox] = {}
         for box, _ in beam.values():
-            for j in range(dim):
-                refined = best_interval_for_dim(x, y, box, j, base_rate)
+            for refined in refiner.refinements(box):
                 if refined.n_restricted > max_restricted:
                     continue
                 key = refined.key()
-                if key not in pool:
-                    pool[key] = (refined, wracc(refined, x, y, base_rate))
+                if key not in pool and key not in pending:
+                    pending[key] = refined
+        pool.update(refiner.score(pending))
 
         ranked = sorted(pool.values(), key=lambda item: -item[1])[:beam_size]
         new_beam = {box.key(): (box, quality) for box, quality in ranked}

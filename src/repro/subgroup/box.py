@@ -108,8 +108,17 @@ class Hyperbox:
         return len(self.restricted_dims)
 
     def key(self) -> tuple:
-        """Hashable identity of the box (for dedup in beam search)."""
-        return (tuple(self.lower.tolist()), tuple(self.upper.tolist()))
+        """Hashable identity of the box (for dedup in beam search).
+
+        Cached on first use: beam search and the refinement memo of
+        :func:`repro.subgroup.best_interval.best_interval` key every
+        box many times per iteration, and the box is immutable.
+        """
+        cached = getattr(self, "_key", None)
+        if cached is None:
+            cached = (tuple(self.lower.tolist()), tuple(self.upper.tolist()))
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Volumes (Definition 2)

@@ -14,10 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.subgroup._kernels import evaluate_boxes
 from repro.subgroup.box import Hyperbox
 from repro.subgroup.prim import prim_peel
 
-__all__ = ["BumpingResult", "prim_bumping"]
+__all__ = ["BumpingResult", "pareto_front", "prim_bumping"]
 
 
 @dataclass
@@ -60,7 +61,22 @@ def pareto_front(points: np.ndarray) -> np.ndarray:
     Dominance as in Definition 1 of the paper: ``b`` is dominated by
     ``B`` iff ``B`` is >= on every measure and > on at least one.
     Duplicate points are all kept.
+
+    The two-measure case — the (precision, recall) filter of
+    Algorithm 2, where candidate counts grow with ``Q`` times the
+    trajectory length — runs as an ``O(n log n)`` sort-and-sweep
+    instead of the ``O(n^2)`` pairwise scan, which survives as the
+    reference for other dimensionalities (and for the differential
+    test in ``tests/test_bumping_covering.py``).
     """
+    points = np.asarray(points)
+    if points.ndim == 2 and points.shape[1] == 2 and len(points) > 1:
+        return _pareto_front_2d(points)
+    return _pareto_front_reference(points)
+
+
+def _pareto_front_reference(points: np.ndarray) -> np.ndarray:
+    """Pairwise-scan Pareto filter for any number of measures."""
     n = len(points)
     keep = np.ones(n, dtype=bool)
     for i in range(n):
@@ -70,6 +86,38 @@ def pareto_front(points: np.ndarray) -> np.ndarray:
         gt = (points > points[i]).any(axis=1)
         if (geq & gt).any():
             keep[i] = False
+    return np.nonzero(keep)[0]
+
+
+def _pareto_front_2d(points: np.ndarray) -> np.ndarray:
+    """Sort-and-sweep Pareto filter for two measures.
+
+    Sorted by the first measure descending (second descending within
+    ties), a point survives iff its second measure equals the maximum
+    of its first-measure group *and* strictly exceeds every earlier
+    group's maximum — identical keep-set to the pairwise scan,
+    duplicates included.
+    """
+    first, second = points[:, 0], points[:, 1]
+    order = np.lexsort((-second, -first))
+    f_sorted = first[order]
+    s_sorted = second[order]
+    # Group boundaries over equal first-measure values; each group's
+    # maximal second measure is its first element (ties sorted desc).
+    starts = np.empty(len(order), dtype=bool)
+    starts[0] = True
+    np.not_equal(f_sorted[1:], f_sorted[:-1], out=starts[1:])
+    group_ids = np.cumsum(starts) - 1
+    group_max = s_sorted[starts]
+    # Best second measure over groups with strictly greater first
+    # measure: running max of previous groups' maxima.
+    best_above = np.empty(len(group_max))
+    best_above[0] = -np.inf
+    np.maximum.accumulate(group_max[:-1], out=best_above[1:])
+    keep_sorted = ((s_sorted == group_max[group_ids])
+                   & (s_sorted > best_above[group_ids]))
+    keep = np.zeros(len(points), dtype=bool)
+    keep[order[keep_sorted]] = True
     return np.nonzero(keep)[0]
 
 
@@ -145,10 +193,11 @@ def prim_bumping(
             upper[subset] = small_box.upper
             all_boxes.append(Hyperbox(lower, upper))
 
+    # Precision/recall of every pooled box in one batched kernel call
+    # (bit-identical to mapping _precision_recall over the boxes).
     total_pos = float(y_val.sum())
-    stats = np.array([
-        _precision_recall(box, x_val, y_val, total_pos) for box in all_boxes
-    ])
+    evaluation = evaluate_boxes(all_boxes, x_val, y_val)
+    stats = np.column_stack(evaluation.precision_recall())
     front = pareto_front(stats)
 
     # Deduplicate identical (precision, recall) pairs, keeping one box

@@ -12,6 +12,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.subgroup._kernels import contains_many
 from repro.subgroup.box import Hyperbox
 
 __all__ = ["covering"]
@@ -47,7 +48,9 @@ def covering(
         few uncovered examples or positives remain, or when the
         discovery function returns an unrestricted box (no signal left).
     """
-    x = np.asarray(x, dtype=float)
+    # Column-contiguous once, so every round's membership kernel call
+    # skips its own layout conversion.
+    x = np.asfortranarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
     if len(x) != len(y):
         raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
@@ -61,5 +64,8 @@ def covering(
         if box.n_restricted == 0:
             break
         found.append(box)
-        remaining &= ~box.contains(x)
+        # Membership through the batched kernel (one box per round: the
+        # loop is inherently sequential, each run only sees the points
+        # every earlier box left uncovered).
+        remaining &= ~contains_many((box,), x)[0]
     return found

@@ -1,0 +1,261 @@
+"""Differential tests: the vectorized BI engine vs the reference.
+
+``best_interval(engine="vectorized")`` must reproduce the per-call
+re-sorting/masking reference *exactly* — same box bounds bit for bit,
+same WRAcc, same iteration count — across data shapes that exercise
+every kernel path: continuous inputs, tied/discrete levels, soft
+labels in [0, 1], duplicated columns (exactly tied candidates), and
+``depth``/``beam_size`` grids.  The sort-once machinery
+(:class:`~repro.subgroup._kernels.SortedDataset`), the vectorized
+max-sum-run search and the batched box-evaluation kernels are also
+pinned against their scalar references here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.subgroup import _kernels
+from repro.subgroup.best_interval import (
+    BI_ENGINES,
+    best_interval,
+    best_interval_for_dim,
+    wracc,
+)
+from repro.subgroup.box import Hyperbox
+
+
+def assert_identical_results(a, b):
+    """Field-by-field exact equality of two BIResults."""
+    np.testing.assert_array_equal(a.box.lower, b.box.lower)
+    np.testing.assert_array_equal(a.box.upper, b.box.upper)
+    assert a.wracc == b.wracc
+    assert a.n_iterations == b.n_iterations
+
+
+def make_dataset(kind: str, seed: int, n: int = 250, m: int = 6):
+    """Randomized datasets covering the kernel's code paths."""
+    gen = np.random.default_rng(seed)
+    x = gen.random((n, m))
+    if kind == "discrete":
+        # Few levels everywhere: every refinement groups tied values.
+        x = np.round(x * 3) / 3
+    elif kind == "mixed":
+        # Discrete and continuous columns side by side.
+        x[:, ::2] = np.round(x[:, ::2] * 4) / 4
+    elif kind == "duplicated":
+        # Identical columns produce exactly tied candidate boxes.
+        x[:, 1] = x[:, 0]
+    if kind in ("soft", "duplicated"):
+        y = gen.random(n)
+    else:
+        y = ((x[:, 0] > 0.4) & (x[:, 1] < 0.8)).astype(float)
+    return x, y
+
+
+KINDS = ("continuous", "discrete", "mixed", "soft", "duplicated")
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("beam_size", (1, 3, 5))
+    def test_exact_equivalence_across_beams(self, kind, beam_size):
+        for seed in range(4):
+            x, y = make_dataset(kind, seed)
+            results = [
+                best_interval(x, y, beam_size=beam_size, engine=engine)
+                for engine in ("reference", "vectorized")
+            ]
+            assert_identical_results(results[0], results[1])
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("depth", (None, 1, 2, 4))
+    def test_exact_equivalence_across_depths(self, kind, depth):
+        x, y = make_dataset(kind, seed=7)
+        results = [
+            best_interval(x, y, depth=depth, beam_size=3, engine=engine)
+            for engine in ("reference", "vectorized")
+        ]
+        assert_identical_results(results[0], results[1])
+
+    def test_fuzz(self):
+        """Broad randomized sweep over shapes, labels, beams, depths."""
+        gen = np.random.default_rng(2025)
+        for trial in range(40):
+            n = int(gen.integers(25, 300))
+            m = int(gen.integers(1, 8))
+            x = gen.random((n, m))
+            if trial % 3 == 0:
+                x[:, ::2] = np.round(x[:, ::2] * 3) / 3
+            y = gen.random(n) if trial % 2 else gen.integers(0, 2, n).astype(float)
+            beam_size = (1, 2, 5)[trial % 3]
+            depth = (None, 1, 3)[trial % 3]
+            results = [
+                best_interval(x, y, beam_size=beam_size, depth=depth,
+                              engine=engine)
+                for engine in ("reference", "vectorized")
+            ]
+            assert_identical_results(results[0], results[1])
+
+    def test_degenerate_labels(self):
+        gen = np.random.default_rng(5)
+        x = gen.random((80, 3))
+        for y in (np.zeros(80), np.ones(80)):
+            results = [
+                best_interval(x, y, beam_size=2, engine=engine)
+                for engine in ("reference", "vectorized")
+            ]
+            assert_identical_results(results[0], results[1])
+
+    def test_unknown_engine_rejected(self):
+        x, y = make_dataset("continuous", seed=0)
+        with pytest.raises(ValueError, match="engine"):
+            best_interval(x, y, engine="turbo")
+        assert set(BI_ENGINES) == {"vectorized", "reference"}
+
+
+class TestSortedDatasetRefinement:
+    """The sort-once refinement vs the re-sorting reference, per call."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_same_refined_bounds(self, kind):
+        for seed in range(6):
+            x, y = make_dataset(kind, seed, n=150, m=4)
+            x = np.asarray(x, dtype=float)
+            y = np.asarray(y, dtype=float)
+            dataset = _kernels.SortedDataset(x, y)
+            gen = np.random.default_rng(seed)
+            box = Hyperbox.unrestricted(4).replace(
+                int(gen.integers(0, 4)), lower=0.2, upper=0.8)
+            mask_for = dataset.except_masks(box)
+            for j in range(4):
+                reference = best_interval_for_dim(x, y, box, j)
+                bounds = dataset.interval_bounds(j, mask_for(j))
+                assert bounds is not None
+                refined = box.replace(j, lower=bounds[0], upper=bounds[1])
+                np.testing.assert_array_equal(refined.lower, reference.lower)
+                np.testing.assert_array_equal(refined.upper, reference.upper)
+
+    def test_empty_mask_returns_none(self):
+        x = np.linspace(0, 1, 20).reshape(-1, 2)
+        y = np.ones(10)
+        dataset = _kernels.SortedDataset(x, y)
+        assert dataset.interval_bounds(0, np.zeros(10, dtype=bool)) is None
+
+    def test_except_masks_match_reference(self):
+        from repro.subgroup.best_interval import _contains_except
+
+        gen = np.random.default_rng(11)
+        x = np.round(gen.random((120, 5)), 1)
+        dataset = _kernels.SortedDataset(x, np.zeros(120))
+        box = (Hyperbox.unrestricted(5)
+               .replace(1, lower=0.2)
+               .replace(3, lower=0.1, upper=0.6))
+        mask_for = dataset.except_masks(box)
+        for j in range(5):
+            np.testing.assert_array_equal(
+                mask_for(j), _contains_except(x, box, j))
+
+
+class TestMaxSumRun:
+    """The vectorized prefix-scan search vs a sequential exact Kadane."""
+
+    @staticmethod
+    def sequential_kadane(sums):
+        best_sum = -np.inf
+        best_start = best_end = 0
+        run_sum = 0.0
+        run_start = 0
+        for i, value in enumerate(sums):
+            if run_sum <= 0.0:
+                run_sum = value
+                run_start = i
+            else:
+                run_sum += value
+            if run_sum > best_sum:
+                best_sum = run_sum
+                best_start, best_end = run_start, i
+        return best_start, best_end, float(best_sum)
+
+    def test_matches_sequential_kadane_exactly(self):
+        # Integer-valued floats keep both formulations in exact
+        # arithmetic, so ties and resets must agree index for index.
+        gen = np.random.default_rng(3)
+        for _ in range(500):
+            n = int(gen.integers(1, 50))
+            sums = gen.integers(-3, 4, n).astype(float)
+            assert _kernels.max_sum_run(sums) == self.sequential_kadane(sums)
+
+    def test_pinned_small_cases(self):
+        assert _kernels.max_sum_run(np.array([3.0])) == (0, 0, 3.0)
+        assert _kernels.max_sum_run(np.array([-5.0, -1.0, -3.0])) == (1, 1, -1.0)
+        start, end, total = _kernels.max_sum_run(
+            np.array([-2.0, 1.0, -3.0, 4.0, -1.0, 2.0, 1.0, -5.0, 4.0]))
+        assert (start, end, total) == (3, 6, 6.0)
+
+
+class TestBatchedEvaluation:
+    """contains_many / evaluate_boxes vs the per-box scalar paths."""
+
+    @staticmethod
+    def random_boxes(gen, dim, count):
+        boxes = []
+        for _ in range(count):
+            box = Hyperbox.unrestricted(dim)
+            for j in range(dim):
+                roll = gen.random()
+                lo, hi = np.sort(gen.random(2))
+                if roll < 0.3:
+                    box = box.replace(j, lower=lo, upper=hi)
+                elif roll < 0.5:
+                    box = box.replace(j, lower=lo)
+                elif roll < 0.7:
+                    box = box.replace(j, upper=hi)
+            boxes.append(box)
+        boxes.append(Hyperbox.unrestricted(dim))
+        # An empty box (bounds outside the data range) as well.
+        boxes.append(Hyperbox.unrestricted(dim).replace(0, lower=2.0, upper=3.0))
+        return boxes
+
+    def test_contains_many_matches_contains(self):
+        gen = np.random.default_rng(21)
+        x = gen.random((300, 4))
+        boxes = self.random_boxes(gen, 4, 40)
+        masks = _kernels.contains_many(boxes, x)
+        assert masks.shape == (len(boxes), 300)
+        for box, mask in zip(boxes, masks):
+            np.testing.assert_array_equal(mask, box.contains(x))
+
+    def test_contains_many_empty_box_list(self):
+        x = np.zeros((5, 2))
+        assert _kernels.contains_many([], x).shape == (0, 5)
+
+    @pytest.mark.parametrize("labels", ("binary", "soft"))
+    def test_evaluate_boxes_bit_exact_stats(self, labels):
+        gen = np.random.default_rng(33)
+        x = gen.random((250, 3))
+        y = (gen.integers(0, 2, 250).astype(float) if labels == "binary"
+             else gen.random(250))
+        boxes = self.random_boxes(gen, 3, 25)
+        evaluation = _kernels.evaluate_boxes(boxes, x, y)
+        for i, box in enumerate(boxes):
+            inside = box.contains(x)
+            n = int(inside.sum())
+            assert evaluation.n_inside[i] == n
+            if n:
+                assert evaluation.y_sums[i] == float(y[inside].sum())
+                assert evaluation.y_means[i] == float(y[inside].mean())
+            else:
+                assert evaluation.y_sums[i] == 0.0
+                assert evaluation.y_means[i] == 0.0
+        assert evaluation.n_total == 250
+        assert evaluation.y_total == float(y.sum())
+        assert evaluation.base_rate == float(y.mean())
+
+    def test_beam_scoring_matches_wracc(self):
+        # The vectorized engine's candidate scoring path must agree
+        # with the public scalar wracc on the boxes it reports.
+        gen = np.random.default_rng(8)
+        x = gen.random((400, 5))
+        y = gen.random(400)
+        result = best_interval(x, y, beam_size=4, engine="vectorized")
+        assert result.wracc == wracc(result.box, x, y)

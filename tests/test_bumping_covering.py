@@ -32,6 +32,32 @@ class TestParetoFront:
         assert pareto_front(points).tolist() == [1]
 
 
+class TestParetoSweepEquivalence:
+    """The sort-and-sweep front vs the pairwise-scan reference."""
+
+    def test_randomized_identical_indices(self):
+        from repro.subgroup.bumping import _pareto_front_reference
+
+        gen = np.random.default_rng(123)
+        for trial in range(60):
+            n = int(gen.integers(1, 200))
+            points = gen.random((n, 2))
+            if trial % 2 == 0:
+                # Heavy duplication/ties: the regime the keep-all-
+                # duplicates and strict-dominance rules care about.
+                points = np.round(points, 1)
+            np.testing.assert_array_equal(
+                pareto_front(points), _pareto_front_reference(points))
+
+    def test_higher_dimensions_fall_back_to_reference(self):
+        gen = np.random.default_rng(7)
+        points = np.round(gen.random((50, 3)), 1)
+        from repro.subgroup.bumping import _pareto_front_reference
+
+        np.testing.assert_array_equal(
+            pareto_front(points), _pareto_front_reference(points))
+
+
 class TestBumping:
     def test_returns_nondominated_sorted_by_recall(self):
         x, y, _ = planted_box_data(600, 3, noise=0.1, seed=30)
