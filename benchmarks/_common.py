@@ -51,12 +51,20 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+#: Repo-root mirror of the machine-readable benchmark results.  Unlike
+#: ``benchmarks/results/`` (scratch output, gitignored), this directory
+#: is tracked, so the perf trajectory of the kernel benchmarks lives in
+#: version control alongside the code it measures.
+TRACKED_RESULTS_DIR = Path(__file__).parent.parent / "results"
+
+
 def emit_json(name: str, payload: dict) -> None:
     """Persist machine-readable benchmark results as JSON.
 
     Writes ``benchmarks/results/<name>.json`` with the measurements
     plus enough environment context (python/numpy versions, machine) to
-    compare the perf trajectory across commits and machines.
+    compare the perf trajectory across commits and machines, and
+    mirrors ``BENCH_*`` records to the tracked repo-root ``results/``.
     """
     import numpy
 
@@ -68,8 +76,11 @@ def emit_json(name: str, payload: dict) -> None:
         "machine": platform.machine(),
         **payload,
     }
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    (RESULTS_DIR / f"{name}.json").write_text(text)
+    if name.startswith("BENCH_"):
+        TRACKED_RESULTS_DIR.mkdir(exist_ok=True)
+        (TRACKED_RESULTS_DIR / f"{name}.json").write_text(text)
 
 
 def jobs_from_env() -> int | None:

@@ -137,10 +137,12 @@ def discover(
     overrides the ``L`` default; ``sampler``/``pool`` set the REDS input
     distribution (Sections 9.1.2 / 9.4); ``tune_metamodel`` can disable
     the caret-style metamodel grid search for quick runs; ``engine``
-    selects the subgroup-discovery engine (``"vectorized"`` /
-    ``"reference"``) for both PRIM peeling and the BestInterval beam
-    search (see :func:`repro.subgroup.prim.prim_peel` and
-    :func:`repro.subgroup.best_interval.best_interval`).
+    selects the kernel engine (``"vectorized"`` / ``"reference"``) for
+    PRIM peeling, the BestInterval beam search (see
+    :func:`repro.subgroup.prim.prim_peel` and
+    :func:`repro.subgroup.best_interval.best_interval`) *and* the
+    metamodel layer of REDS methods (tree growth and stacked ensemble
+    prediction, see :mod:`repro.metamodels._kernels`).
     """
     spec = parse_method(name)
     x = np.asarray(x, dtype=float)
@@ -218,6 +220,7 @@ def discover(
             pool=pool,
             tune=tune_metamodel,
             rng=rng,
+            engine=engine,
         )
         sd_output = reds_result.sd_output
     else:

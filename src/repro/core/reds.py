@@ -60,6 +60,7 @@ def reds(
     pool: np.ndarray | None = None,
     tune: bool = True,
     rng: np.random.Generator | None = None,
+    engine: str = "vectorized",
 ) -> REDSResult:
     """Run REDS (Algorithm 4).
 
@@ -91,6 +92,10 @@ def reds(
         Cross-validate the metamodel's hyperparameters (the paper's
         caret default) before the final fit.  Ignored when an instance
         is passed.
+    engine:
+        Metamodel kernel engine (``"vectorized"`` / ``"reference"``)
+        threaded into tuning and fitting when a family name is given;
+        ignored when an already-constructed instance is passed.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y)
@@ -104,9 +109,9 @@ def reds(
     t0 = time.perf_counter()
     if isinstance(metamodel, str):
         if tune:
-            fitted = tune_metamodel(metamodel, x, y)
+            fitted = tune_metamodel(metamodel, x, y, engine=engine)
         else:
-            fitted = make_metamodel(metamodel).fit(x, y)
+            fitted = make_metamodel(metamodel, engine=engine).fit(x, y)
     else:
         fitted = metamodel.fit(x, y)
     train_time = time.perf_counter() - t0

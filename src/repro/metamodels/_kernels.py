@@ -1,0 +1,883 @@
+"""Vectorized metamodel kernels: sort-once tree growth, stacked prediction.
+
+The reference tree builder (``DecisionTreeRegressor._grow_reference``)
+re-argsorts every candidate feature at every node and scans them in a
+Python loop; ensemble prediction walks 100-150 trees one at a time over
+the full query matrix.  This module applies the subgroup-kernel
+discipline of :mod:`repro.subgroup._kernels` (sort once, maintain
+sorted orders incrementally, replace per-item Python loops with batched
+array passes) to the metamodel layer:
+
+* :func:`grow_tree` / :func:`grow_forest` float-sort each column **once
+  per fit** (:func:`dense_ranks`: per-column dense integer value ranks)
+  and grow level-wise from there: the only per-row state carried
+  between levels is the row list grouped by node (maintained by an
+  arithmetic stable partition — one cumsum, no sorting), and each
+  level's split search lays every (node, candidate-feature) pair out as
+  one row of a zero-padded matrix whose per-column orderings come from
+  a stable **radix** argsort of the uint16 rank keys.  The
+  weighted-SSE gain scan is then a single ``cumsum`` + elementwise gain
+  evaluation + ``argmax`` per matrix.  Zero padding keeps the per-node
+  prefix sums bit-identical to a fresh per-node ``np.cumsum`` (trailing
+  zeros never perturb a running prefix), rank-key stability reproduces
+  the reference's tie order, the elementwise gain formula is copied
+  operation for operation from the reference, and ties break by the
+  same first-strict-maximum rule — so the chosen (feature, threshold)
+  pairs, the node numbering (both engines grow breadth-first) and the
+  fitted flat arrays are bit-identical to ``engine="reference"``.
+  :func:`grow_forest` additionally grows whole blocks of bootstrap
+  trees level-synchronously (independent spawned generators make tree
+  interleaving immaterial), amortizing per-level call overhead — the
+  cost floor of deep-tree growth — across the block.
+
+* :class:`StackedEnsemble` pads the flat arrays of all trees of a
+  forest / boosting model into one array set and replaces the per-tree
+  prediction loop with a vectorized level-wise walk over (tree, row)
+  pairs, chunked over rows for cache residency.  Thresholds are
+  replaced by their **ranks** among each feature's sorted unique
+  ensemble thresholds and queries by their ``searchsorted`` ranks, so
+  the inner walk compares small ints from L1/L2-resident tables
+  (``x > t``  iff  ``rank(x) > rank(t)``, an exact equivalence).
+  Shallow ensembles (boosting) are padded to **complete heap-indexed
+  trees** whose child step is pure arithmetic (``2h + 1 + go``) with no
+  child-pointer gather; deep ensembles (fully grown forests) use a
+  pointer walk over depth-sorted tree blocks with periodic compaction
+  of finished (tree, row) walkers.  Per-tree leaf values are
+  accumulated in tree order with the same elementwise operations as the
+  reference loops, so ensemble predictions are bit-identical as well.
+
+Feature subsampling draws one batched ``rng.random`` per tree level
+(:func:`draw_candidates`, shared by both engines), which keeps random
+forests bit-reproducible across engines too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["grow_tree", "grow_forest", "draw_candidates", "dense_ranks",
+           "StackedEnsemble"]
+
+_NO_FEATURE = -1
+
+#: Strictly-positive improvement a split must reach (shared with the
+#: reference scan in ``DecisionTreeRegressor._best_split``).
+MIN_GAIN = 1e-12
+
+#: Element budget for one padded (max_node_len, n_columns) scan block;
+#: eligible nodes are chunked by size so the padded temporaries stay a
+#: few MB with bounded padding waste.
+_SCAN_CHUNK_ELEMENTS = 1 << 21
+
+
+def draw_candidates(rng: np.random.Generator, n_nodes: int,
+                    n_features: int, max_features: int) -> np.ndarray:
+    """Candidate feature subsets for one level's split-eligible nodes.
+
+    One uniform draw without replacement per node, implemented as a
+    single batched random-key argsort so that both tree engines consume
+    the generator stream identically (exactly one ``rng.random`` call
+    per tree level with subsampling-eligible nodes).
+    """
+    keys = rng.random((n_nodes, n_features))
+    return np.argsort(keys, axis=1, kind="stable")[:, :max_features]
+
+
+def dense_ranks(x: np.ndarray) -> np.ndarray:
+    """Per-column dense value ranks of ``x`` (equal values share a rank).
+
+    An order-embedding of each column with ties collapsed, so a stable
+    argsort of ``ranks[idx]`` equals the stable argsort of ``x[idx]``
+    for any row multiset ``idx`` — and integer keys (uint16 whenever
+    they fit) take numpy's O(n) radix path instead of float timsort.
+    """
+    n, m = x.shape
+    order = np.argsort(x, axis=0, kind="stable")
+    sv = np.take_along_axis(x, order, axis=0)
+    step = np.empty((n, m), dtype=np.int64)
+    step[0] = 0
+    # NaNs sort together at the end and must share one rank, exactly
+    # like any other tied value.
+    step[1:] = (sv[1:] != sv[:-1]) & ~(np.isnan(sv[1:]) & np.isnan(sv[:-1]))
+    dense = np.cumsum(step, axis=0)
+    ranks = np.empty((n, m), dtype=np.int64)
+    np.put_along_axis(ranks, order, dense, axis=0)
+    if n <= np.iinfo(np.uint16).max:
+        return ranks.astype(np.uint16)
+    return ranks
+
+
+def grow_tree(
+    x: np.ndarray,
+    y: np.ndarray,
+    weight: np.ndarray,
+    *,
+    max_depth: int | None,
+    min_samples_leaf: int,
+    min_child_weight: float,
+    max_features: int | None,
+    rng: np.random.Generator | None,
+    ranks: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Grow one CART regression tree level-wise from rank-sorted columns.
+
+    Returns the flat tree arrays ``(feature, threshold, left, right,
+    value, train_leaf)`` where ``train_leaf[i]`` is the leaf node of
+    training row ``i`` — bit-identical to the breadth-first reference
+    builder fed the same inputs.  ``ranks`` may hold the
+    :func:`dense_ranks` of ``x`` computed elsewhere (boosting reuses
+    one rank matrix across all rounds that train on the full dataset);
+    it is only read, never mutated.
+    """
+    n, m = x.shape
+    if ranks is None:
+        ranks = dense_ranks(x)
+    return _grow_block(
+        x, y, weight, ranks,
+        n_trees=1, n_samp=n, max_depth=max_depth,
+        min_samples_leaf=min_samples_leaf,
+        min_child_weight=min_child_weight,
+        max_features=max_features, rngs=[rng],
+    )[0]
+
+
+#: Trees grown level-synchronously per forest block: per-level numpy
+#: call overhead (the cost floor for one deep tree) amortizes over the
+#: whole block while its working set stays cache-sized.
+_FOREST_TREE_BLOCK = 16
+
+
+def grow_forest(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_trees: int,
+    max_depth: int | None,
+    min_samples_leaf: int,
+    max_features: int | None,
+    rng: np.random.Generator,
+    block: int = _FOREST_TREE_BLOCK,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Grow all bootstrap trees of a random forest, block-level-wise.
+
+    Consumes the generator exactly like the reference engine: all
+    ``n_trees`` bootstrap draws first, then one spawned child generator
+    per tree for its feature subsampling — which makes every tree's
+    stream independent of how trees are interleaved, so whole blocks of
+    trees grow level-synchronously through one kernel loop (per-level
+    call overhead amortizes across the block) while staying
+    bit-identical to fitting each tree alone.  The dense rank matrix is
+    computed once and gathered per bootstrap sample; no per-tree float
+    sorting happens at all.
+
+    Returns one ``(feature, threshold, left, right, value, train_leaf)``
+    tuple per tree, where ``train_leaf`` indexes the tree's bootstrap
+    sample rows.
+    """
+    n, m = x.shape
+    boot = [rng.integers(0, n, size=n) for _ in range(n_trees)]
+    rngs = rng.spawn(n_trees)
+    ranks = dense_ranks(x)
+    results = []
+    for b in range(0, n_trees, block):
+        tb = range(b, min(b + block, n_trees))
+        idx = np.concatenate([boot[t] for t in tb])
+        results.extend(_grow_block(
+            x[idx], y[idx], np.ones(idx.size), ranks[idx],
+            n_trees=len(tb), n_samp=n, max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf, min_child_weight=0.0,
+            max_features=max_features, rngs=[rngs[t] for t in tb],
+        ))
+    return results
+
+
+def _grow_block(
+    xb: np.ndarray,
+    yb: np.ndarray,
+    wb: np.ndarray,
+    ranks: np.ndarray,
+    *,
+    n_trees: int,
+    n_samp: int,
+    max_depth: int | None,
+    min_samples_leaf: int,
+    min_child_weight: float,
+    max_features: int | None,
+    rngs,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Level-synchronous growth of ``n_trees`` independent trees whose
+    rows are stacked tree-major in ``xb``/``yb``/``wb`` (``n_samp`` rows
+    each); ``ranks`` holds each row's per-column dense value rank.
+    Returns per-tree flat arrays.
+
+    The only per-row state carried between levels is ``node_rows`` (row
+    ids grouped by node, ascending within each node).  Each level's
+    split scan rebuilds its padded (position, node x feature) columns
+    by a stable **radix** argsort of the integer rank keys — stability
+    reproduces the reference's tie order (ascending row position), and
+    re-sorting small integers per level is cheaper than maintaining
+    every feature's sorted order through an m-wide stable partition.
+    """
+    V, m = xb.shape
+    min_leaf = min_samples_leaf
+    subsample = max_features is not None and max_features < m
+    k = max_features if subsample else m
+
+    xF = np.asfortranarray(xb)
+    x_flat = xF.reshape(-1, order="F")
+    rkF = np.asfortranarray(ranks)
+    rk_flat = rkF.reshape(-1, order="F")
+    sent = np.iinfo(ranks.dtype).max
+
+    # NaN feature values sort last and never admit a split on either
+    # side of them (any comparison with NaN is False in the reference
+    # scan); per-column NaN ranks let the rank-based distinct check
+    # reproduce that exactly.
+    has_nan = bool(np.isnan(xb).any())
+    if has_nan:
+        nan_rank = np.full(m, sent, dtype=np.int64)
+        for j in range(m):
+            nan_j = np.isnan(xb[:, j])
+            if nan_j.any():
+                nan_rank[j] = int(ranks[nan_j, j][0])
+
+    # With unit weights and a binary response — the random-forest hot
+    # path — every per-node sum is integer-exact: segmented cumsum
+    # differences equal the reference's fresh pairwise slice sums bit
+    # for bit, the per-node value loop vectorizes away entirely, and the
+    # scan's weight prefix sums are plain position counts.
+    exact_sums = bool((wb == 1.0).all()) and bool(((yb == 0.0) | (yb == 1.0)).all())
+    # In the exact regime every prefix sum is a small integer, so the
+    # whole scan runs in uint8/int32 and only the gain divisions touch
+    # floats — int/int true division of exact integers is bit-identical
+    # to dividing the same integers held in float64.  int32 squares need
+    # counts <= 46340; larger exact fits fall back to the float path.
+    exact_int = exact_sums and n_samp <= 46_000
+    # Sentinel slot V: padding rows gather a zero contribution.
+    if exact_int:
+        y8 = np.concatenate((yb, [0.0])).astype(np.uint8)
+    wy = yb if exact_sums else wb * yb
+    wyx = np.concatenate((wy, [0.0]))
+    if not exact_sums:
+        wx = np.concatenate((wb, [0.0]))
+
+    # Row ids grouped by node in ascending original order — the order
+    # the reference sees y[idx] in, which makes the per-node value (a
+    # pairwise slice sum) bit-identical to np.average(y[idx], w[idx]).
+    node_rows = np.arange(V)
+
+    # Flat tree arrays, one block per level, tagged with (tree, local
+    # node id) for the final per-tree assembly.
+    feat_parts = [np.full(n_trees, _NO_FEATURE, dtype=np.int64)]
+    thr_parts = [np.zeros(n_trees)]
+    left_parts = [np.full(n_trees, -1, dtype=np.int64)]
+    right_parts = [np.full(n_trees, -1, dtype=np.int64)]
+    val_parts = [np.zeros(n_trees)]
+    tree_parts = [np.arange(n_trees)]
+    id_parts = [np.zeros(n_trees, dtype=np.int64)]
+    tree_n_nodes = np.ones(n_trees, dtype=np.int64)
+    train_leaf = np.empty(V, dtype=np.int64)
+
+    seg_counts = np.full(n_trees, n_samp, dtype=np.int64)
+    seg_tree = np.arange(n_trees)           # owning tree per segment
+    seg_node = np.zeros(n_trees, dtype=np.int64)  # local node id per segment
+    depth = 0
+
+    while True:
+        n_seg = seg_counts.size
+        n_active = node_rows.size
+        ends = np.cumsum(seg_counts)
+        starts = ends - seg_counts
+        val_blk = val_parts[-1]
+
+        y_rows = yb[node_rows]
+
+        # ------------------------------------------------------------------
+        # Node values (same ops as np.average over each node's rows) and
+        # purity, whole level at once where the sums are integer-exact.
+        # ------------------------------------------------------------------
+        if exact_sums:
+            # Unit weights, binary y: the node value is ones/count and a
+            # node is pure iff its ones count is 0 or everything.
+            csum = np.concatenate(([0.0], np.cumsum(y_rows)))
+            seg_sum = csum[ends] - csum[starts]
+            val_blk[:] = seg_sum / np.maximum(seg_counts, 1)
+            impure = (seg_sum > 0) & (seg_sum < seg_counts)
+        else:
+            w_rows = wb[node_rows]
+            wy_rows = wy[node_rows]
+            for i in range(n_seg):
+                s, e = int(starts[i]), int(ends[i])
+                scl = w_rows[s:e].sum()
+                val_blk[i] = wy_rows[s:e].sum() / scl if scl > 0 else 0.0
+            # A node is pure iff no adjacent response pair differs.
+            if n_active > 1:
+                change = np.empty(n_active, dtype=np.int64)
+                change[0] = 0
+                change[1:] = y_rows[1:] != y_rows[:-1]
+                cs = np.cumsum(change)
+                impure = (cs[ends - 1] - cs[starts]) > 0
+            else:
+                impure = np.zeros(n_seg, dtype=bool)
+
+        at_cap = max_depth is not None and depth >= max_depth
+        if at_cap:
+            elig = np.empty(0, dtype=np.int64)
+        else:
+            elig = np.flatnonzero(impure & (seg_counts >= 2 * min_leaf))
+
+        # Candidate features per eligible node, one batched draw per
+        # (tree, level) from the tree's own generator — the reference
+        # draws the identical matrices in the identical order.
+        if elig.size and subsample:
+            if n_trees == 1:
+                cand = draw_candidates(rngs[0], elig.size, m, k)
+            else:
+                cnt = np.bincount(seg_tree[elig], minlength=n_trees)
+                cand = np.concatenate(
+                    [draw_candidates(rngs[t], int(c), m, k)
+                     for t, c in enumerate(cnt) if c])
+        else:
+            cand = np.broadcast_to(np.arange(m), (elig.size, m))
+
+        # ------------------------------------------------------------------
+        # Level-wise split search over padded (position, node x feature)
+        # matrices; nodes are chunked largest-first so each block's
+        # padding waste stays bounded.
+        # ------------------------------------------------------------------
+        split_feat = np.full(n_seg, _NO_FEATURE, dtype=np.int64)
+        split_thr = np.zeros(n_seg)
+
+        if elig.size:
+            lengths = seg_counts[elig]
+            by_size = np.argsort(-lengths, kind="stable")
+            sorted_len = lengths[by_size]
+            ptr = 0
+            while ptr < by_size.size:
+                # Greedy waste-bounded chunking: extend while the padded
+                # area stays under twice the actual data (and the element
+                # budget), so big and small nodes never share a block
+                # unless the small ones are numerous enough to amortize.
+                max_len = int(sorted_len[ptr])
+                actual = 0
+                q = 0
+                while ptr + q < by_size.size:
+                    nxt = int(sorted_len[ptr + q])
+                    if q and (max_len * (q + 1) * k > _SCAN_CHUNK_ELEMENTS
+                              or max_len * (q + 1) > 2 * (actual + nxt)):
+                        break
+                    actual += nxt
+                    q += 1
+                sel = by_size[ptr:ptr + q]
+                ptr += q
+                e_idx = elig[sel]
+                n_cols = q * k
+
+                # One flat scatter builds all padded columns; a stable
+                # argsort of the integer rank keys then sorts every
+                # column at once (radix for uint16 ranks), with padding
+                # (rank `sent`, row V) sinking to the bottom.
+                col_len = np.repeat(lengths[sel], k)
+                tot = int(col_len.sum())
+                col_off = np.concatenate(([0], np.cumsum(col_len)[:-1]))
+                ar = np.arange(tot) - np.repeat(col_off, col_len)
+                src_pos = np.repeat(np.repeat(starts[e_idx], k), col_len) + ar
+                src_col = np.repeat(cand[sel].ravel(), col_len)
+                src_row = node_rows[src_pos]
+                dst = np.repeat(np.arange(n_cols) * max_len, col_len) + ar
+
+                # Columns live as contiguous rows of (n_cols, max_len)
+                # matrices, so the per-column sorts, prefix sums and
+                # argmaxes below all run over contiguous memory.
+                row_pad = np.full((n_cols, max_len), V, dtype=np.int64)
+                rank_pad = np.full((n_cols, max_len), sent,
+                                   dtype=ranks.dtype)
+                row_pad.ravel()[dst] = src_row
+                rank_pad.ravel()[dst] = rk_flat[src_row + V * src_col]
+                perm = np.argsort(rank_pad, axis=1, kind="stable")
+                # Column-flat gathers (take_along_axis builds full index
+                # grids in Python; one add does the same job).
+                pflat = perm + (np.arange(n_cols) * max_len)[:, None]
+                row_srt = row_pad.ravel()[pflat]
+                rank_srt = rank_pad.ravel()[pflat]
+
+                # Per-column prefix sums: trailing zero padding leaves
+                # the running prefixes identical to per-node cumsums.
+                # Split after sorted position p: left spans [0, p]; the
+                # gain expression mirrors the reference line for line so
+                # every surviving element is bit-identical.
+                cix = np.arange(n_cols)
+                n_pos = max_len - 1
+                pos_grid = np.arange(n_pos)[None, :]
+                if exact_int:
+                    # Integer fast path: weights are position counts and
+                    # response sums are ones counts, so prefix sums stay
+                    # int32 and (at valid positions, where wl, wr >=
+                    # min_leaf >= 1) the reference's 1e-300 floors are
+                    # bitwise no-ops.
+                    cum_wy = np.cumsum(y8[row_srt], axis=1,
+                                       dtype=np.int32)
+                    total_wy = cum_wy[cix, col_len - 1]
+                    cl32 = col_len.astype(np.int32)
+                    wl = (pos_grid + 1).astype(np.int32)
+                    sl = cum_wy[:, :n_pos]
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        wr = cl32[:, None] - wl
+                        sr = total_wy[:, None] - sl
+                        gain = sl * sl / wl + sr * sr / wr
+                        gain -= (total_wy * total_wy / cl32)[:, None]
+                else:
+                    wy_pad = wyx[row_srt]
+                    cum_wy = np.cumsum(wy_pad, axis=1)
+                    total_wy = cum_wy[cix, col_len - 1]
+                    if exact_sums:
+                        total_w = col_len.astype(float)
+                        wl = (pos_grid + 1).astype(float)
+                    else:
+                        w_pad = wx[row_srt]
+                        cum_w = np.cumsum(w_pad, axis=1)
+                        total_w = cum_w[cix, col_len - 1]
+                        wl = cum_w[:, :n_pos]
+                    sl = cum_wy[:, :n_pos]
+                    with np.errstate(divide="ignore", invalid="ignore",
+                                     over="ignore"):
+                        wr = total_w[:, None] - wl
+                        sr = total_wy[:, None] - sl
+                        if exact_sums:
+                            wl_safe, wr_safe = wl, wr
+                        else:
+                            wl_safe = np.maximum(wl, 1e-300)
+                            wr_safe = np.maximum(wr, 1e-300)
+                        gain = sl * sl / wl_safe + sr * sr / wr_safe
+                        gain -= (total_wy * total_wy
+                                 / np.where(total_w > 0, total_w, 1.0))[:, None]
+
+                valid = (pos_grid >= min_leaf - 1) \
+                    & (pos_grid <= (col_len - min_leaf - 1)[:, None])
+                # Distinct-value check on ranks (dense ranks embed the
+                # value order with ties collapsed).
+                valid &= rank_srt[:, :n_pos] < rank_srt[:, 1:]
+                if has_nan:
+                    # x < NaN is False in the reference scan, so the
+                    # position just before a column's NaN run admits no
+                    # split either.
+                    valid &= rank_srt[:, 1:] != nan_rank[src_col[col_off]][:, None]
+                if min_child_weight > 0:
+                    valid &= (wl >= min_child_weight) & (wr >= min_child_weight)
+                if not exact_sums:
+                    valid &= (total_w > 0)[:, None]
+                gain[~valid] = -np.inf
+
+                # First maximum per column (argmax keeps the reference's
+                # first-win tie rule; a NaN gain at a valid position
+                # poisons its column exactly like the reference's
+                # `nan > best` comparison skips the feature).
+                best_pos = np.argmax(gain, axis=1)
+                best_gain = gain[cix, best_pos]
+                # A usable threshold must partition the node: midpoints
+                # that fall outside [min, max) (NaN from inf-straddling
+                # values, or +/-inf from overflowing huge ones) would
+                # leave one child empty and the other equal to its
+                # parent — growth would never terminate.  A NaN column
+                # maximum means NaN rows exist, and those always land in
+                # the right child, so only `min <= thr` matters then.
+                # The reference skips such features; mask them before
+                # the across-feature argmax.
+                fcol = src_col[col_off]
+                thr_col = 0.5 * (x_flat[row_srt[cix, best_pos] + V * fcol]
+                                 + x_flat[row_srt[cix, best_pos + 1] + V * fcol])
+                x_lo = x_flat[row_srt[:, 0] + V * fcol]
+                x_hi = x_flat[row_srt[cix, col_len - 1] + V * fcol]
+                degenerate = ~((x_lo <= thr_col)
+                               & ((thr_col < x_hi) | np.isnan(x_hi)))
+                bg = np.where(np.isnan(best_gain) | degenerate, -np.inf,
+                              best_gain).reshape(q, k)
+                f_arg = np.argmax(bg, axis=1)
+                g_sel = bg[np.arange(q), f_arg]
+                okx = np.flatnonzero(g_sel > MIN_GAIN)
+                col_ok = f_arg[okx] + okx * k
+                tgt = e_idx[okx]
+                split_feat[tgt] = cand[sel[okx], f_arg[okx]]
+                split_thr[tgt] = thr_col[col_ok]
+
+        # ------------------------------------------------------------------
+        # Mark leaf rows, allocate children (breadth-first numbering per
+        # tree: each tree's splitting segments appear in its own BFS
+        # order, so local ids follow from the tree's node count plus the
+        # segment's rank among its tree's splits this level).
+        # ------------------------------------------------------------------
+        splitting = np.flatnonzero(split_feat != _NO_FEATURE)
+        n_split = splitting.size
+
+        leaf_pos = np.repeat(split_feat < 0, seg_counts)
+        train_leaf[node_rows[leaf_pos]] = \
+            np.repeat(seg_node, seg_counts)[leaf_pos]
+
+        if n_split == 0:
+            break
+
+        split_trees = seg_tree[splitting]
+        per_tree = np.bincount(split_trees, minlength=n_trees)
+        tree_first = np.concatenate(([0], np.cumsum(per_tree)[:-1]))
+        occ = np.arange(n_split) - tree_first[split_trees]
+        left_ids = tree_n_nodes[split_trees] + 2 * occ
+        tree_n_nodes += 2 * per_tree
+
+        feat_parts[-1][splitting] = split_feat[splitting]
+        thr_parts[-1][splitting] = split_thr[splitting]
+        left_parts[-1][splitting] = left_ids
+        right_parts[-1][splitting] = left_ids + 1
+
+        nb = 2 * n_split
+        feat_parts.append(np.full(nb, _NO_FEATURE, dtype=np.int64))
+        thr_parts.append(np.zeros(nb))
+        left_parts.append(np.full(nb, -1, dtype=np.int64))
+        right_parts.append(np.full(nb, -1, dtype=np.int64))
+        val_parts.append(np.zeros(nb))
+        new_seg_tree = np.repeat(split_trees, 2)
+        new_seg_node = np.empty(nb, dtype=np.int64)
+        new_seg_node[0::2] = left_ids
+        new_seg_node[1::2] = left_ids + 1
+        tree_parts.append(new_seg_tree)
+        id_parts.append(new_seg_node)
+
+        # ------------------------------------------------------------------
+        # Stable partition of the row list into child segments, computed
+        # arithmetically: each row's child is decided by the split-value
+        # comparison (the same ``x <= thr`` rule prediction uses), and
+        # its new position is its child's base offset plus its rank
+        # among same-side rows of its segment — one cumsum.
+        # ------------------------------------------------------------------
+        Ls = seg_counts[splitting]
+        tot = int(Ls.sum())
+        cstart = np.concatenate(([0], np.cumsum(Ls)[:-1]))
+        rep_seg = np.repeat(np.arange(n_split), Ls)
+        within = np.arange(tot) - cstart[rep_seg]
+        src_pos = starts[splitting][rep_seg] + within
+        rows_c = node_rows[src_pos]
+        feat_rep = split_feat[splitting][rep_seg]
+        # Same rule as the reference partition and as prediction:
+        # go_left = (x <= thr), negated (not rewritten as `>`, which
+        # would disagree on NaN thresholds from degenerate midpoints).
+        il = x_flat[rows_c + V * feat_rep] <= split_thr[splitting][rep_seg]
+
+        left_cnt = np.bincount(rep_seg[il], minlength=n_split)
+        new_counts = np.empty(nb, dtype=np.int64)
+        new_counts[0::2] = left_cnt
+        new_counts[1::2] = Ls - left_cnt
+        new_ends = np.cumsum(new_counts)
+        new_starts = new_ends - new_counts
+        nsl = new_starts[0::2]
+        nsr = new_starts[1::2]
+
+        exr = np.cumsum(il) - il
+        rank_l = exr - exr[cstart][rep_seg]
+        # Left rows land at their child's base plus their left rank;
+        # right rows at base + (position - left rank).
+        npos = np.where(il, nsl[rep_seg] + rank_l,
+                        nsr[rep_seg] + within - rank_l)
+        new_node_rows = np.empty(tot, dtype=np.int64)
+        new_node_rows[npos] = rows_c
+
+        node_rows = new_node_rows
+        seg_counts = new_counts
+        seg_tree = new_seg_tree
+        seg_node = new_seg_node
+        depth += 1
+
+    # ------------------------------------------------------------------
+    # Assemble per-tree flat arrays: every level entry carries its
+    # (tree, local node id) tag, so one scatter per array sorts the
+    # whole block into tree-contiguous BFS layout.
+    # ------------------------------------------------------------------
+    offsets = np.concatenate(([0], np.cumsum(tree_n_nodes)))
+    gidx = offsets[np.concatenate(tree_parts)] + np.concatenate(id_parts)
+    total = int(offsets[-1])
+
+    def _assemble(parts):
+        src = np.concatenate(parts)
+        out = np.empty(total, dtype=src.dtype)
+        out[gidx] = src
+        return out
+
+    feat_all = _assemble(feat_parts)
+    thr_all = _assemble(thr_parts)
+    left_all = _assemble(left_parts)
+    right_all = _assemble(right_parts)
+    val_all = _assemble(val_parts)
+    leaf2d = train_leaf.reshape(n_trees, n_samp)
+    return [
+        (feat_all[offsets[t]:offsets[t + 1]],
+         thr_all[offsets[t]:offsets[t + 1]],
+         left_all[offsets[t]:offsets[t + 1]],
+         right_all[offsets[t]:offsets[t + 1]],
+         val_all[offsets[t]:offsets[t + 1]],
+         leaf2d[t])
+        for t in range(n_trees)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Stacked ensemble prediction
+# ----------------------------------------------------------------------
+
+#: Query rows per walk chunk — the chunk's rank matrix (chunk x M
+#: int32) stays L1/L2-resident while every tree block traverses it.
+_PREDICT_ROW_CHUNK = 4096
+
+#: Trees per pointer-walk block — bounds the block's node tables to the
+#: L2 cache while walkers of all block trees gather from them.
+_PREDICT_TREE_BLOCK = 16
+
+#: Deepest ensemble stored as complete heap-indexed trees (2^(d+1) - 1
+#: slots per tree); deeper ensembles fall back to the pointer walk.
+_HEAP_MAX_DEPTH = 8
+
+#: Pointer walk: depth at which compaction of finished walkers starts,
+#: and how many levels pass between compactions (measured optimum at
+#: paper scale — compacting too eagerly costs more than the spins).
+_COMPACT_FROM = 12
+_COMPACT_EVERY = 6
+
+_RANK_INF = np.iinfo(np.int32).max
+
+
+class StackedEnsemble:
+    """All trees of a fitted ensemble padded into one array set.
+
+    Parameters
+    ----------
+    trees:
+        Fitted :class:`~repro.metamodels.tree.DecisionTreeRegressor`
+        instances.
+    columns:
+        Optional per-tree global column indices (boosting's per-round
+        ``colsample`` draws); tree-local split features are remapped to
+        the full input space so the walk runs on the caller's ``x``.
+
+    Notes
+    -----
+    Split thresholds are quantized to their index among the feature's
+    sorted unique thresholds across the whole ensemble, and queries are
+    ranked once per :meth:`leaf_value_sum` call with ``searchsorted``.
+    ``x > t``  iff  ``#(thresholds < x) > index(t)``, exactly — so the
+    int-rank walk reproduces the float comparisons bit for bit while
+    keeping the hot tables small and cache-resident.
+    """
+
+    def __init__(self, trees, columns=None) -> None:
+        n_trees = len(trees)
+        max_nodes = max(tree.n_nodes for tree in trees)
+        n_features = 0
+        feature = np.zeros((n_trees, max_nodes), dtype=np.int64)
+        threshold = np.full((n_trees, max_nodes), np.inf)
+        left = np.empty((n_trees, max_nodes), dtype=np.int64)
+        left[:] = (np.arange(n_trees, dtype=np.int64)[:, None] * max_nodes
+                   + np.arange(max_nodes))
+        value = np.zeros((n_trees, max_nodes))
+        internal2d = np.zeros((n_trees, max_nodes), dtype=bool)
+        depths = np.empty(n_trees, dtype=np.int64)
+        for t, tree in enumerate(trees):
+            kn = tree.n_nodes
+            internal = tree.feature != _NO_FEATURE
+            if not np.array_equal(tree.right[internal],
+                                  tree.left[internal] + 1):
+                raise ValueError(
+                    "stacked prediction requires right == left + 1 "
+                    "(breadth-first flat trees)")
+            feat = tree.feature
+            if columns is not None:
+                feat = feat.copy()
+                feat[internal] = np.asarray(columns[t])[feat[internal]]
+            feature[t, :kn][internal] = feat[internal]
+            threshold[t, :kn][internal] = tree.threshold[internal]
+            left[t, :kn][internal] = t * max_nodes + tree.left[internal]
+            value[t, :kn] = tree.value
+            internal2d[t, :kn] = internal
+            depths[t] = tree.depth
+            if internal.any():
+                n_features = max(n_features, int(feat[internal].max()) + 1)
+
+        self.n_trees = n_trees
+        self.max_nodes = max_nodes
+        self.n_features = n_features
+        self._depths = depths
+        self._depth = int(depths.max())
+        self._value = value.ravel()
+
+        # Per-feature sorted unique thresholds + per-node threshold
+        # ranks; leaves/padding keep rank INT32_MAX so every comparison
+        # sends them left (their self-loop / value-propagating child).
+        featf = feature.ravel()
+        thrf = threshold.ravel()
+        internal_all = internal2d.ravel()
+        self._uniq = []
+        rank = np.full(featf.size, _RANK_INF, dtype=np.int64)
+        for j in range(n_features):
+            sel = internal_all & (featf == j)
+            uniq = np.unique(thrf[sel])
+            self._uniq.append(uniq)
+            rank[sel] = np.searchsorted(uniq, thrf[sel])
+        self._feature = featf
+        self._thr_rank = rank.astype(np.int32)
+        self._left = left.ravel()
+
+        if self._depth <= _HEAP_MAX_DEPTH:
+            self._build_heap(feature, internal2d, value)
+        else:
+            self._heap = None
+            self._depth_order = np.argsort(depths, kind="stable")
+
+    # ------------------------------------------------------------------
+    def _build_heap(self, feature, internal2d, value) -> None:
+        """Pad every tree to a complete heap-indexed tree of the
+        ensemble depth: child of heap slot ``h`` is ``2h + 1 + go``, so
+        the walk needs no child-pointer gather.  Leaves replicate their
+        value down their left spine (their rank stays INT32_MAX, which
+        no query rank exceeds)."""
+        d = self._depth
+        size = (1 << (d + 1)) - 1
+        T = self.n_trees
+        h_feat = np.zeros((T, size), dtype=np.int64)
+        h_rank = np.full((T, size), _RANK_INF, dtype=np.int32)
+        h_val = np.zeros((T, size))
+
+        rank2d = self._thr_rank.reshape(T, self.max_nodes)
+        feat2d = feature
+        left2d = (self._left.reshape(T, self.max_nodes)
+                  - np.arange(T, dtype=np.int64)[:, None] * self.max_nodes)
+        tix = np.arange(T)
+        heap_pos = np.zeros(T, dtype=np.int64)
+        flat_pos = np.zeros(T, dtype=np.int64)
+        for _ in range(d + 1):
+            f = feat2d[tix, flat_pos]
+            internal = internal2d[tix, flat_pos]
+            h_feat[tix, heap_pos] = np.where(internal, f, 0)
+            h_rank[tix, heap_pos] = np.where(
+                internal, rank2d[tix, flat_pos], _RANK_INF)
+            h_val[tix, heap_pos] = value[tix, flat_pos]
+            # Internal nodes descend both ways; leaves propagate down
+            # their left child only (comparisons always send them left).
+            lc = left2d[tix, flat_pos]
+            nt = np.concatenate((tix, tix[internal]))
+            nh = np.concatenate((2 * heap_pos + 1, 2 * heap_pos[internal] + 2))
+            nf = np.concatenate((np.where(internal, lc, flat_pos),
+                                 lc[internal] + 1))
+            keep = nh < size
+            tix, heap_pos, flat_pos = nt[keep], nh[keep], nf[keep]
+            if not tix.size:
+                break
+        self._heap = (h_feat.ravel(), h_rank.ravel(), h_val.ravel(), size)
+
+    # ------------------------------------------------------------------
+    def _rank_queries(self, x: np.ndarray) -> np.ndarray:
+        """``out[i, j] = #(ensemble thresholds on feature j < x[i, j])``."""
+        n = len(x)
+        m = max(self.n_features, 1)
+        ranks = np.zeros((n, m), dtype=np.int32)
+        for j, uniq in enumerate(self._uniq):
+            if uniq.size:
+                ranks[:, j] = np.searchsorted(uniq, x[:, j], side="left")
+        return ranks
+
+    # ------------------------------------------------------------------
+    def leaf_value_sum(self, x: np.ndarray, *, scale: float | None = None,
+                       init: float = 0.0,
+                       chunk: int = _PREDICT_ROW_CHUNK) -> np.ndarray:
+        """``init + sum_t scale * value_t(row)`` for every row of ``x``.
+
+        The per-tree accumulation runs in tree order with the same
+        elementwise operations as the reference per-tree loops
+        (``out += tree.predict(x)`` / ``out += lr * tree.predict(x)``),
+        so results are bit-identical to them.
+        """
+        x = np.ascontiguousarray(x, dtype=float)
+        n = len(x)
+        if x.ndim != 2 or (self.n_features and x.shape[1] < self.n_features):
+            raise ValueError(
+                f"x must be 2-D with >= {self.n_features} columns, "
+                f"got shape {x.shape}")
+        ranks = self._rank_queries(x)
+        m = ranks.shape[1]
+        T = self.n_trees
+        out = np.full(n, init)
+
+        for s in range(0, n, chunk):
+            rc = np.ascontiguousarray(ranks[s:s + chunk])
+            c = len(rc)
+            rc_flat = rc.ravel()
+            rowm = np.arange(c, dtype=np.int64) * m
+            if self._heap is not None:
+                vals = self._walk_heap(rc_flat, rowm, c)
+            else:
+                vals = self._walk_pointer(rc_flat, rowm, c)
+            oc = out[s:s + c]
+            if scale is None:
+                for t in range(T):
+                    oc += vals[t]
+            else:
+                for t in range(T):
+                    oc += scale * vals[t]
+        return out
+
+    def _walk_heap(self, rc_flat, rowm, c):
+        h_feat, h_rank, h_val, size = self._heap
+        T = self.n_trees
+        tbase = np.repeat(np.arange(T, dtype=np.int64) * size, c)
+        rm = np.tile(rowm, T)
+        node = np.zeros(T * c, dtype=np.int64)
+        for _ in range(self._depth):
+            g = tbase + node
+            fv = np.take(h_feat, g)
+            rv = np.take(rc_flat, rm + fv)
+            go = rv > np.take(h_rank, g)
+            node += node
+            node += 1
+            node += go
+        return np.take(h_val, tbase + node).reshape(T, c)
+
+    def _walk_pointer(self, rc_flat, rowm, c):
+        feature, thr_rank = self._feature, self._thr_rank
+        left, value = self._left, self._value
+        T, max_nodes = self.n_trees, self.max_nodes
+        vals = np.empty((T, c))
+        for b in range(0, T, _PREDICT_TREE_BLOCK):
+            tb = self._depth_order[b:b + _PREDICT_TREE_BLOCK]
+            nb = tb.size
+            d = int(self._depths[tb].max())
+            node = np.repeat(tb * max_nodes, c)
+            rm = np.tile(rowm, nb)
+            vbuf = np.empty(nb * c)
+            out_idx = None
+            lvl = 0
+            while True:
+                fv = np.take(feature, node)
+                rv = np.take(rc_flat, rm + fv)
+                go = rv > np.take(thr_rank, node)
+                node = np.take(left, node) + go
+                lvl += 1
+                if lvl >= d:
+                    break
+                # Finished (tree, row) walkers self-loop on their leaf;
+                # periodically drop them so late levels shrink.
+                if lvl >= _COMPACT_FROM \
+                        and (lvl - _COMPACT_FROM) % _COMPACT_EVERY == 0:
+                    fin = np.take(thr_rank, node) == _RANK_INF
+                    if fin.any():
+                        if out_idx is None:
+                            out_idx = np.arange(nb * c)
+                        done = np.flatnonzero(fin)
+                        vbuf[np.take(out_idx, done)] = \
+                            np.take(value, np.take(node, done))
+                        keep = np.flatnonzero(~fin)
+                        node = np.take(node, keep)
+                        rm = np.take(rm, keep)
+                        out_idx = np.take(out_idx, keep)
+                        if not node.size:
+                            break
+            if out_idx is None:
+                vbuf[:] = np.take(value, node)
+            elif node.size:
+                vbuf[out_idx] = np.take(value, node)
+            vals[tb] = vbuf.reshape(nb, c)
+        return vals

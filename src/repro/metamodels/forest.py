@@ -4,13 +4,22 @@ Bootstrap-aggregated CART trees with per-node feature subsampling.
 For a binary response the average of leaf means across trees estimates
 ``P(y = 1 | x)``, which is exactly what REDS needs: soft labels for the
 "p" variants and hard labels via the 0.5 threshold otherwise.
+
+Both engines consume the seed generator identically — all bootstrap
+draws first, then one spawned child generator per tree — so fits are
+bit-reproducible across engines while the vectorized engine grows
+whole blocks of trees level-synchronously through
+:func:`repro.metamodels._kernels.grow_forest` and predicts through one
+:class:`~repro.metamodels._kernels.StackedEnsemble` walk instead of a
+per-tree Python loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.metamodels.tree import DecisionTreeRegressor
+from repro.metamodels._kernels import StackedEnsemble, grow_forest
+from repro.metamodels.tree import _ENGINES, DecisionTreeRegressor
 
 __all__ = ["RandomForestModel"]
 
@@ -31,6 +40,10 @@ class RandomForestModel:
         implementation.
     seed:
         Seed of the internal generator (bootstraps + feature draws).
+    engine:
+        ``"vectorized"`` (block tree growth + stacked prediction,
+        default) or ``"reference"`` (per-tree loops); fitted trees and
+        predictions are bit-identical between the two.
     """
 
     def __init__(
@@ -40,16 +53,21 @@ class RandomForestModel:
         min_samples_leaf: int = 1,
         max_depth: int | None = None,
         seed: int = 0,
+        engine: str = "vectorized",
     ) -> None:
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
         self.n_trees = n_trees
         self.max_features = max_features
         self.min_samples_leaf = min_samples_leaf
         self.max_depth = max_depth
         self.seed = seed
+        self.engine = engine
         self.trees_: list[DecisionTreeRegressor] = []
         self.n_features_: int | None = None
+        self._stacked: StackedEnsemble | None = None
 
     def _resolve_max_features(self, m: int) -> int:
         if isinstance(self.max_features, int):
@@ -73,16 +91,33 @@ class RandomForestModel:
         mtry = self._resolve_max_features(m)
 
         self.trees_ = []
-        for _ in range(self.n_trees):
-            idx = rng.integers(0, n, size=n)
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
+        self._stacked = None
+        if self.engine == "vectorized":
+            for arrays in grow_forest(
+                x, y, n_trees=self.n_trees, max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
-                max_features=mtry,
-                rng=rng,
-            )
-            tree.fit(x[idx], y[idx])
-            self.trees_.append(tree)
+                max_features=mtry, rng=rng,
+            ):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=mtry, rng=rng,
+                )
+                (tree.feature, tree.threshold, tree.left, tree.right,
+                 tree.value, tree.train_leaf_) = arrays
+                self.trees_.append(tree)
+        else:
+            boot = [rng.integers(0, n, size=n) for _ in range(self.n_trees)]
+            rngs = rng.spawn(self.n_trees)
+            for t in range(self.n_trees):
+                idx = boot[t]
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=mtry, rng=rngs[t], engine="reference",
+                )
+                tree.fit(x[idx], y[idx])
+                self.trees_.append(tree)
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
@@ -90,9 +125,14 @@ class RandomForestModel:
         if not self.trees_:
             raise RuntimeError("forest is not fitted; call fit() first")
         x = np.asarray(x, dtype=float)
-        total = np.zeros(len(x))
-        for tree in self.trees_:
-            total += tree.predict(x)
+        if self.engine == "vectorized":
+            if self._stacked is None:
+                self._stacked = StackedEnsemble(self.trees_)
+            total = self._stacked.leaf_value_sum(x)
+        else:
+            total = np.zeros(len(x))
+            for tree in self.trees_:
+                total += tree.predict(x)
         return total / len(self.trees_)
 
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -14,18 +14,32 @@ sorted-scan with prefix sums; for a binary response this is equivalent
 to Gini-impurity splitting, so nothing is lost relative to a dedicated
 classification tree.
 
-Trees are stored as flat arrays (feature, threshold, children, value)
-which makes batch prediction a handful of vectorised index operations
-per tree level instead of a Python recursion per row.
+Two engines grow the same tree breadth-first:
+
+* ``engine="vectorized"`` (default) — the sort-once level-wise kernel
+  of :mod:`repro.metamodels._kernels`: each column is float-sorted once
+  per fit into dense integer ranks, every level's splits are found by
+  one padded radix-sorted prefix-sum scan over all (node, feature)
+  pairs at once, and rows partition into children arithmetically;
+* ``engine="reference"`` — the pinned per-node scan that re-argsorts
+  every candidate feature at every node.
+
+Both produce bit-identical flat arrays (feature, threshold, children,
+value — pinned by ``tests/test_tree_equivalence.py``), which make batch
+prediction a handful of vectorised index operations per tree level
+instead of a Python recursion per row.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.metamodels._kernels import draw_candidates, grow_tree
+
 __all__ = ["DecisionTreeRegressor"]
 
 _NO_FEATURE = -1
+_ENGINES = ("vectorized", "reference")
 
 
 class DecisionTreeRegressor:
@@ -46,7 +60,13 @@ class DecisionTreeRegressor:
         Minimum total sample weight in each child (used as the hessian
         floor by boosting).
     rng:
-        Random generator for feature subsampling.
+        Random generator for feature subsampling.  Both engines draw
+        each level's candidate subsets with one batched call
+        (:func:`~repro.metamodels._kernels.draw_candidates`), so fits
+        are bit-reproducible across engines.
+    engine:
+        ``"vectorized"`` (sort-once level-wise kernel, default) or
+        ``"reference"`` (per-node re-sorting scan).
     """
 
     def __init__(
@@ -56,6 +76,7 @@ class DecisionTreeRegressor:
         max_features: int | None = None,
         min_child_weight: float = 0.0,
         rng: np.random.Generator | None = None,
+        engine: str = "vectorized",
     ) -> None:
         if max_depth is not None and max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
@@ -63,23 +84,38 @@ class DecisionTreeRegressor:
             raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
         if max_features is not None and rng is None:
             raise ValueError("feature subsampling (max_features) requires rng")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.min_child_weight = min_child_weight
         self.rng = rng
+        self.engine = engine
         # Flat representation, filled by fit().
         self.feature: np.ndarray | None = None
         self.threshold: np.ndarray | None = None
         self.left: np.ndarray | None = None
         self.right: np.ndarray | None = None
         self.value: np.ndarray | None = None
+        #: Leaf node of each training row, recorded during fit() so
+        #: boosting's Newton step never re-walks the training data.
+        self.train_leaf_: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
     def fit(self, x: np.ndarray, y: np.ndarray,
-            sample_weight: np.ndarray | None = None) -> "DecisionTreeRegressor":
+            sample_weight: np.ndarray | None = None,
+            ranks: np.ndarray | None = None) -> "DecisionTreeRegressor":
+        """Fit the tree.
+
+        ``ranks`` optionally passes the precomputed
+        :func:`~repro.metamodels._kernels.dense_ranks` of ``x`` so
+        repeated fits on the same inputs (boosting rounds) skip the
+        sort-once step; it is ignored by the reference engine, which
+        re-sorts per node anyway.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         if x.ndim != 2:
@@ -95,11 +131,41 @@ class DecisionTreeRegressor:
             if (weight < 0).any() or weight.sum() <= 0:
                 raise ValueError("sample weights must be non-negative with positive sum")
 
+        if self.engine == "vectorized":
+            arrays = grow_tree(
+                x, y, weight,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                min_child_weight=self.min_child_weight,
+                max_features=self.max_features,
+                rng=self.rng,
+                ranks=ranks,
+            )
+        else:
+            arrays = self._grow_reference(x, y, weight)
+        (self.feature, self.threshold, self.left, self.right,
+         self.value, self.train_leaf_) = arrays
+        return self
+
+    def _grow_reference(self, x: np.ndarray, y: np.ndarray, weight: np.ndarray):
+        """Breadth-first per-node builder (the pinned reference engine).
+
+        Nodes are processed level by level in FIFO order, which numbers
+        each level's nodes contiguously — what lets the level-wise
+        kernel produce bit-identical arrays.  Candidate feature subsets
+        for all of a level's split-eligible nodes are drawn with one
+        batched :func:`~repro.metamodels._kernels.draw_candidates` call
+        (the kernel issues the identical call), so fits with feature
+        subsampling are bit-reproducible across engines.
+        """
+        n, m = x.shape
+        subsample = self.max_features is not None and self.max_features < m
         features: list[int] = []
         thresholds: list[float] = []
         lefts: list[int] = []
         rights: list[int] = []
         values: list[float] = []
+        train_leaf = np.empty(n, dtype=np.int64)
 
         def new_node() -> int:
             features.append(_NO_FEATURE)
@@ -109,47 +175,62 @@ class DecisionTreeRegressor:
             values.append(0.0)
             return len(features) - 1
 
-        # Iterative depth-first build; each stack item is (node_id,
-        # sample indices, depth).
         root = new_node()
-        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(len(y)), 0)]
-        while stack:
-            node, idx, depth = stack.pop()
-            y_node = y[idx]
-            w_node = weight[idx]
-            w_sum = w_node.sum()
-            values[node] = float(np.average(y_node, weights=w_node)) if w_sum > 0 else 0.0
+        level: list[tuple[int, np.ndarray]] = [(root, np.arange(n))]
+        depth = 0
+        while level:
+            eligible: list[tuple[int, np.ndarray]] = []
+            for node, idx in level:
+                y_node = y[idx]
+                w_node = weight[idx]
+                w_sum = w_node.sum()
+                values[node] = (float(np.average(y_node, weights=w_node))
+                                if w_sum > 0 else 0.0)
+                if (
+                    (self.max_depth is not None and depth >= self.max_depth)
+                    or len(idx) < 2 * self.min_samples_leaf
+                    or np.all(y_node == y_node[0])
+                ):
+                    train_leaf[idx] = node
+                else:
+                    eligible.append((node, idx))
 
-            if (
-                (self.max_depth is not None and depth >= self.max_depth)
-                or len(idx) < 2 * self.min_samples_leaf
-                or np.all(y_node == y_node[0])
-            ):
-                continue
+            cand = (draw_candidates(self.rng, len(eligible), m,
+                                    self.max_features)
+                    if subsample and eligible else None)
 
-            split = self._best_split(x[idx], y_node, w_node)
-            if split is None:
-                continue
-            feat, thr = split
-            go_left = x[idx, feat] <= thr
-            left_id = new_node()
-            right_id = new_node()
-            features[node] = feat
-            thresholds[node] = thr
-            lefts[node] = left_id
-            rights[node] = right_id
-            stack.append((left_id, idx[go_left], depth + 1))
-            stack.append((right_id, idx[~go_left], depth + 1))
+            next_level: list[tuple[int, np.ndarray]] = []
+            for j, (node, idx) in enumerate(eligible):
+                candidates = cand[j] if cand is not None else np.arange(m)
+                split = self._best_split(x[idx], y[idx], weight[idx],
+                                         candidates)
+                if split is None:
+                    train_leaf[idx] = node
+                    continue
+                feat, thr = split
+                go_left = x[idx, feat] <= thr
+                left_id = new_node()
+                right_id = new_node()
+                features[node] = feat
+                thresholds[node] = thr
+                lefts[node] = left_id
+                rights[node] = right_id
+                next_level.append((left_id, idx[go_left]))
+                next_level.append((right_id, idx[~go_left]))
+            level = next_level
+            depth += 1
 
-        self.feature = np.array(features, dtype=np.int64)
-        self.threshold = np.array(thresholds, dtype=float)
-        self.left = np.array(lefts, dtype=np.int64)
-        self.right = np.array(rights, dtype=np.int64)
-        self.value = np.array(values, dtype=float)
-        return self
+        return (
+            np.array(features, dtype=np.int64),
+            np.array(thresholds, dtype=float),
+            np.array(lefts, dtype=np.int64),
+            np.array(rights, dtype=np.int64),
+            np.array(values, dtype=float),
+            train_leaf,
+        )
 
-    def _best_split(self, x: np.ndarray, y: np.ndarray,
-                    w: np.ndarray) -> tuple[int, float] | None:
+    def _best_split(self, x: np.ndarray, y: np.ndarray, w: np.ndarray,
+                    candidates: np.ndarray) -> tuple[int, float] | None:
         """Weighted-SSE-optimal (feature, threshold) or None.
 
         Scans candidate features with the sorted prefix-sum trick: for a
@@ -158,11 +239,6 @@ class DecisionTreeRegressor:
         sums — only the first two terms vary, so we maximise those.
         """
         n, m = x.shape
-        if self.max_features is not None and self.max_features < m:
-            candidates = self.rng.choice(m, size=self.max_features, replace=False)
-        else:
-            candidates = np.arange(m)
-
         best_gain = 1e-12  # require a strictly positive improvement
         best: tuple[int, float] | None = None
         min_leaf = self.min_samples_leaf
@@ -198,13 +274,27 @@ class DecisionTreeRegressor:
                     continue
             sl = cum_wy[pos]
             sr = total_wy - sl
-            gain = sl**2 / np.maximum(wl, 1e-300) + sr**2 / np.maximum(wr, 1e-300)
-            gain -= total_wy**2 / total_w
+            # Explicit multiplications, not `** 2`: scalar float64 pow
+            # takes the C `pow` path, which can be an ulp away from the
+            # multiply the array path uses — the engines must agree.
+            gain = sl * sl / np.maximum(wl, 1e-300) \
+                + sr * sr / np.maximum(wr, 1e-300)
+            gain -= total_wy * total_wy / total_w
 
             k = int(np.argmax(gain))
             if gain[k] > best_gain:
+                thr = float(0.5 * (xs[pos[k]] + xs[pos[k] + 1]))
+                # A usable threshold must partition the node: midpoints
+                # that fall outside [min, max) (NaN from inf-straddling
+                # values, or +/-inf from overflowing huge ones) would
+                # leave one child empty and the other equal to its
+                # parent — growth would never terminate.  A NaN column
+                # maximum means NaN rows exist, and those always land in
+                # the right child, so only `min <= thr` matters then.
+                if not (xs[0] <= thr and (thr < xs[-1] or np.isnan(xs[-1]))):
+                    continue
                 best_gain = float(gain[k])
-                best = (int(feat), float(0.5 * (xs[pos[k]] + xs[pos[k] + 1])))
+                best = (int(feat), thr)
         return best
 
     # ------------------------------------------------------------------
@@ -233,13 +323,31 @@ class DecisionTreeRegressor:
         """Leaf mean response for each row of ``x``."""
         return self.value[self.apply(x)]
 
-    def set_leaf_values(self, leaf_values: dict[int, float]) -> None:
-        """Overwrite leaf predictions (used by Newton boosting)."""
+    def set_leaf_values(self, leaf_values, values: np.ndarray | None = None) -> None:
+        """Overwrite leaf predictions (used by Newton boosting).
+
+        Accepts either a ``{leaf: value}`` dict or two parallel arrays
+        of leaf indices and values; both forms validate that every
+        target node is a leaf and apply one array scatter.
+        """
         self._check_fitted()
-        for leaf, val in leaf_values.items():
-            if self.feature[leaf] != _NO_FEATURE:
-                raise ValueError(f"node {leaf} is not a leaf")
-            self.value[leaf] = val
+        if values is not None:
+            leaves = np.asarray(leaf_values, dtype=np.int64)
+            values = np.asarray(values, dtype=float)
+        else:
+            if not leaf_values:
+                return
+            leaves = np.fromiter(leaf_values.keys(), dtype=np.int64,
+                                 count=len(leaf_values))
+            values = np.fromiter(leaf_values.values(), dtype=float,
+                                 count=len(leaf_values))
+        if not leaves.size:
+            return
+        internal = self.feature[leaves] != _NO_FEATURE
+        if internal.any():
+            offender = int(leaves[np.argmax(internal)])
+            raise ValueError(f"node {offender} is not a leaf")
+        self.value[leaves] = values
 
     @property
     def n_nodes(self) -> int:
@@ -250,9 +358,12 @@ class DecisionTreeRegressor:
     def depth(self) -> int:
         """Actual depth of the fitted tree (root-only tree has depth 0)."""
         self._check_fitted()
-        depths = np.zeros(self.n_nodes, dtype=np.int64)
-        for node in range(self.n_nodes):
-            if self.feature[node] != _NO_FEATURE:
-                depths[self.left[node]] = depths[node] + 1
-                depths[self.right[node]] = depths[node] + 1
-        return int(depths.max())
+        depth = 0
+        frontier = np.array([0], dtype=np.int64)
+        while True:
+            splitting = frontier[self.feature[frontier] != _NO_FEATURE]
+            if not splitting.size:
+                return depth
+            frontier = np.concatenate(
+                (self.left[splitting], self.right[splitting]))
+            depth += 1

@@ -104,14 +104,25 @@ _CONSTRUCTORS: dict[str, Callable[..., Metamodel]] = {
 }
 
 
-def make_metamodel(kind: str, **params) -> Metamodel:
-    """Build a metamodel by family name: "forest", "boosting", "svm"."""
+#: Families whose constructors take an ``engine`` argument.
+_ENGINE_AWARE = frozenset({"forest", "boosting"})
+
+
+def make_metamodel(kind: str, engine: str | None = None, **params) -> Metamodel:
+    """Build a metamodel by family name: "forest", "boosting", "svm".
+
+    ``engine`` selects the tree kernels (``"vectorized"`` /
+    ``"reference"``) for the ensemble families and is ignored for
+    families without an engine switch (SVM).
+    """
     try:
         constructor = _CONSTRUCTORS[kind]
     except KeyError:
         raise KeyError(
             f"unknown metamodel {kind!r}; available: {sorted(_CONSTRUCTORS)}"
         ) from None
+    if engine is not None and kind in _ENGINE_AWARE:
+        params = {**params, "engine": engine}
     return constructor(**params)
 
 
@@ -123,28 +134,32 @@ def tune_metamodel(
     grid: Sequence[dict] | None = None,
     n_splits: int = 5,
     seed: int = 0,
+    engine: str | None = None,
 ) -> Metamodel:
     """Grid-search a metamodel with CV accuracy and refit on all data.
 
     Mirrors caret's default behaviour: evaluate a compact grid, pick the
     most accurate configuration, train the final model on the full
-    dataset.  Degenerate single-class data skips the search.
+    dataset.  Degenerate single-class data skips the search.  ``engine``
+    is threaded through to every candidate fit (the grid search is where
+    the metamodel layer burns most of its time: grid x k folds full
+    ensemble fits per call).
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y)
     candidates = list(grid) if grid is not None else DEFAULT_GRIDS[kind](x.shape[1])
     if len(np.unique(y)) < 2 or len(candidates) == 1:
         params = candidates[0] if candidates else {}
-        return make_metamodel(kind, **params).fit(x, y)
+        return make_metamodel(kind, engine=engine, **params).fit(x, y)
 
     best_params: dict = {}
     best_accuracy = -1.0
     for params in candidates:
         accuracy = cross_val_accuracy(
-            lambda p=params: make_metamodel(kind, **p), x, y,
+            lambda p=params: make_metamodel(kind, engine=engine, **p), x, y,
             n_splits=n_splits, seed=seed,
         )
         if accuracy > best_accuracy:
             best_accuracy = accuracy
             best_params = params
-    return make_metamodel(kind, **best_params).fit(x, y)
+    return make_metamodel(kind, engine=engine, **best_params).fit(x, y)

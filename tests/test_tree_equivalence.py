@@ -1,0 +1,372 @@
+"""Engine-equivalence suite for the metamodel tree kernels.
+
+Pins the contract that makes ``engine="vectorized"`` safe everywhere:
+for trees, forests and boosting, the fitted flat arrays (feature,
+threshold, left, right, value), the training-row leaf assignments and
+all predictions are bit-identical to ``engine="reference"`` — including
+sample weights, ``min_child_weight``, heavily tied feature values,
+feature subsampling (shared generator stream) and degenerate one-class
+data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metamodels import (
+    DecisionTreeRegressor,
+    GradientBoostingModel,
+    RandomForestModel,
+)
+from repro.metamodels._kernels import StackedEnsemble, dense_ranks
+
+TREE_ARRAYS = ("feature", "threshold", "left", "right", "value", "train_leaf_")
+
+
+def assert_same_tree(tv, tr, context=""):
+    for name in TREE_ARRAYS:
+        a, b = getattr(tv, name), getattr(tr, name)
+        assert np.array_equal(a, b), f"{context}: {name} differs"
+
+
+def fit_both(x, y, w=None, **kw):
+    tv = DecisionTreeRegressor(engine="vectorized", **kw).fit(x, y, w)
+    tr = DecisionTreeRegressor(engine="reference", **kw).fit(x, y, w)
+    return tv, tr
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_randomized_fits_bit_equal(self, trial):
+        r = np.random.default_rng(trial)
+        n = int(r.integers(2, 400))
+        m = int(r.integers(1, 8))
+        x = r.normal(size=(n, m))
+        if trial % 2:
+            x = np.round(x, 1)  # heavy ties
+        y = r.normal(size=n)
+        w = r.random(n) + 1e-3
+        if trial % 3 == 0:
+            w[r.random(n) < 0.2] = 0.0  # zero-weight rows
+            if w.sum() == 0:
+                w[0] = 1.0
+        for kw in ({}, {"max_depth": 4}, {"min_samples_leaf": 3},
+                   {"min_child_weight": 0.5}):
+            tv, tr = fit_both(x, y, w, **kw)
+            assert_same_tree(tv, tr, f"trial {trial} {kw}")
+            xq = r.normal(size=(40, m))
+            assert np.array_equal(tv.predict(xq), tr.predict(xq))
+            assert np.array_equal(tv.apply(xq), tr.apply(xq))
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_feature_subsampling_same_stream(self, trial):
+        r = np.random.default_rng(100 + trial)
+        n, m = int(r.integers(20, 300)), int(r.integers(2, 9))
+        x = np.round(r.normal(size=(n, m)), 1)
+        y = (r.random(n) < 0.5).astype(float)
+        k = max(1, m // 2)
+        tv = DecisionTreeRegressor(
+            engine="vectorized", max_features=k,
+            rng=np.random.default_rng(trial)).fit(x, y)
+        tr = DecisionTreeRegressor(
+            engine="reference", max_features=k,
+            rng=np.random.default_rng(trial)).fit(x, y)
+        assert_same_tree(tv, tr, f"subsampled trial {trial}")
+
+    def test_one_class_data_is_a_root_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        for y in (np.zeros(50), np.ones(50)):
+            tv, tr = fit_both(x, y)
+            assert_same_tree(tv, tr)
+            assert tv.n_nodes == 1
+            assert tv.depth == 0
+            assert np.array_equal(tv.train_leaf_, np.zeros(50, dtype=np.int64))
+
+    def test_constant_features_are_a_root_leaf(self):
+        x = np.ones((30, 4))
+        y = np.arange(30.0)
+        tv, tr = fit_both(x, y)
+        assert_same_tree(tv, tr)
+        assert tv.n_nodes == 1
+
+    def test_single_row(self):
+        tv, tr = fit_both(np.array([[1.0, 2.0]]), np.array([3.0]))
+        assert_same_tree(tv, tr)
+
+    def test_precomputed_ranks_change_nothing(self):
+        r = np.random.default_rng(5)
+        x = np.round(r.normal(size=(120, 4)), 1)
+        y = r.normal(size=120)
+        w = r.random(120) + 0.01
+        plain = DecisionTreeRegressor().fit(x, y, w)
+        ranked = DecisionTreeRegressor().fit(x, y, w, ranks=dense_ranks(x))
+        assert_same_tree(plain, ranked)
+
+    def test_inf_straddling_feature_terminates_and_matches(self):
+        # The -inf/+inf midpoint is NaN; such degenerate thresholds
+        # would leave a child empty (and growth would never terminate),
+        # so both engines must skip them identically.
+        x = np.array([[-np.inf], [np.inf], [np.inf], [-np.inf]])
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        tv, tr = fit_both(x, y)
+        assert_same_tree(tv, tr)
+        assert tv.n_nodes == 1  # the only candidate threshold is NaN
+        assert np.isfinite(tv.threshold).all()
+
+    def test_overflowing_midpoint_terminates_and_matches(self):
+        big = 1.7e308
+        x = np.array([[-big], [-big / 2], [big / 2], [big]])
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        tv, tr = fit_both(x, y)
+        assert_same_tree(tv, tr)
+        assert np.isfinite(tv.threshold[tv.feature != -1]).all()
+        xq = np.array([[-np.inf], [-1.0], [0.0], [1.0], [np.inf]])
+        assert np.array_equal(tv.predict(xq), tr.predict(xq))
+
+    def test_inf_feature_values_with_finite_splits(self):
+        # +/-inf feature values are legal inputs; splits between finite
+        # values must still work and agree across engines.
+        r = np.random.default_rng(9)
+        x = r.normal(size=(100, 3))
+        x[:5, 0] = np.inf
+        x[5:10, 0] = -np.inf
+        y = (r.random(100) < 0.5).astype(float)
+        tv, tr = fit_both(x, y)
+        assert_same_tree(tv, tr)
+        xq = r.normal(size=(50, 3))
+        xq[0, 0] = np.inf
+        xq[1, 0] = -np.inf
+        assert np.array_equal(tv.predict(xq), tr.predict(xq))
+
+    def test_nan_feature_values_still_split_and_match(self):
+        # NaN rows always fall in the right child (x <= thr is False);
+        # a column with a few NaNs must still split on its finite part,
+        # identically across engines.
+        r = np.random.default_rng(12)
+        x = r.normal(size=(60, 2))
+        x[:4, 0] = np.nan
+        y = (x[:, 0] > 0.0).astype(float)
+        y[:4] = 1.0
+        for kw in ({}, {"max_depth": 2}):
+            tv, tr = fit_both(x, y, **kw)
+            assert_same_tree(tv, tr, f"nan {kw}")
+        assert tv.n_nodes > 1  # the NaN column still splits
+        xq = r.normal(size=(30, 2))
+        xq[0, 0] = np.nan
+        assert np.array_equal(tv.predict(xq), tr.predict(xq))
+
+    def test_all_nan_column_is_ignored(self):
+        r = np.random.default_rng(13)
+        x = r.normal(size=(40, 2))
+        x[:, 1] = np.nan
+        y = (x[:, 0] > 0.0).astype(float)
+        tv, tr = fit_both(x, y)
+        assert_same_tree(tv, tr)
+        assert np.all(tv.feature[tv.feature != -1] == 0)
+
+    def test_train_leaf_matches_apply_on_training_data(self):
+        r = np.random.default_rng(7)
+        x = np.round(r.normal(size=(200, 5)), 1)
+        y = r.normal(size=200)
+        tv, tr = fit_both(x, y)
+        assert np.array_equal(tv.train_leaf_, tv.apply(x))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_hypothesis_fits_bit_equal(self, data):
+        n = data.draw(st.integers(1, 40), label="n")
+        m = data.draw(st.integers(1, 4), label="m")
+        # A tiny value alphabet forces tied feature values and tied
+        # gains — the hard cases for stable-order and tie-break parity.
+        vals = st.sampled_from([-1.5, -0.5, 0.0, 0.25, 1.0])
+        x = np.array(data.draw(
+            st.lists(st.lists(vals, min_size=m, max_size=m),
+                     min_size=n, max_size=n), label="x"))
+        y = np.array(data.draw(
+            st.lists(st.sampled_from([0.0, 1.0, 0.5, -2.0]),
+                     min_size=n, max_size=n), label="y"))
+        w = np.array(data.draw(
+            st.lists(st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+                     min_size=n, max_size=n), label="w"))
+        if w.sum() <= 0:
+            w[0] = 1.0
+        mcw = data.draw(st.sampled_from([0.0, 1.0]), label="mcw")
+        msl = data.draw(st.integers(1, 3), label="msl")
+        tv, tr = fit_both(x.reshape(n, m), y, w,
+                          min_child_weight=mcw, min_samples_leaf=msl)
+        assert_same_tree(tv, tr, "hypothesis")
+
+
+class TestForestEquivalence:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_forest_fit_and_predict_bit_equal(self, trial):
+        r = np.random.default_rng(trial)
+        n, m = int(r.integers(30, 200)), int(r.integers(2, 7))
+        x = np.round(r.normal(size=(n, m)), 1) if trial % 2 \
+            else r.normal(size=(n, m))
+        # trial 3 exercises the non-binary-response (non-exact-sums) path
+        y = r.normal(size=n) if trial == 3 else (r.random(n) < 0.5).astype(float)
+        for kw in ({}, {"max_depth": 3}, {"min_samples_leaf": 4},
+                   {"max_features": "third"}):
+            fv = RandomForestModel(n_trees=9, seed=trial,
+                                   engine="vectorized", **kw).fit(x, y)
+            fr = RandomForestModel(n_trees=9, seed=trial,
+                                   engine="reference", **kw).fit(x, y)
+            for t, (tv, tr) in enumerate(zip(fv.trees_, fr.trees_)):
+                assert_same_tree(tv, tr, f"trial {trial} {kw} tree {t}")
+            xq = r.normal(size=(80, m))
+            assert np.array_equal(fv.predict_proba(xq), fr.predict_proba(xq))
+            assert np.array_equal(fv.predict(xq), fr.predict(xq))
+
+    def test_forest_block_boundary(self):
+        # More trees than one growth block, so block-synchronous growth
+        # and the per-tree spawned streams are both exercised.
+        r = np.random.default_rng(0)
+        x = np.round(r.normal(size=(60, 3)), 1)
+        y = (r.random(60) < 0.4).astype(float)
+        fv = RandomForestModel(n_trees=19, seed=1, engine="vectorized").fit(x, y)
+        fr = RandomForestModel(n_trees=19, seed=1, engine="reference").fit(x, y)
+        for t, (tv, tr) in enumerate(zip(fv.trees_, fr.trees_)):
+            assert_same_tree(tv, tr, f"tree {t}")
+
+    def test_same_seed_same_forest_across_calls(self):
+        r = np.random.default_rng(2)
+        x = r.normal(size=(80, 4))
+        y = (r.random(80) < 0.5).astype(float)
+        a = RandomForestModel(n_trees=5, seed=9).fit(x, y)
+        b = RandomForestModel(n_trees=5, seed=9).fit(x, y)
+        xq = r.normal(size=(30, 4))
+        assert np.array_equal(a.predict_proba(xq), b.predict_proba(xq))
+
+
+class TestBoostingEquivalence:
+    @pytest.mark.parametrize("kw", [
+        {},
+        {"max_depth": 2},
+        {"subsample": 0.7, "colsample": 0.6},
+        {"reg_lambda": 0.0, "min_child_weight": 0.0},
+    ])
+    def test_boosting_fit_and_predict_bit_equal(self, kw):
+        r = np.random.default_rng(3)
+        n, m = 150, 5
+        x = np.round(r.normal(size=(n, m)), 1)
+        y = (r.random(n) < 0.5).astype(float)
+        gv = GradientBoostingModel(n_rounds=10, seed=3,
+                                   engine="vectorized", **kw).fit(x, y)
+        gr = GradientBoostingModel(n_rounds=10, seed=3,
+                                   engine="reference", **kw).fit(x, y)
+        assert gv.base_score_ == gr.base_score_
+        for t, ((tv, cv), (tr, cr)) in enumerate(zip(gv.trees_, gr.trees_)):
+            assert np.array_equal(cv, cr)
+            assert_same_tree(tv, tr, f"{kw} round {t}")
+        xq = r.normal(size=(120, m))
+        assert np.array_equal(gv.decision_function(xq), gr.decision_function(xq))
+        assert np.array_equal(gv.predict_proba(xq), gr.predict_proba(xq))
+        assert np.array_equal(gv.predict(xq), gr.predict(xq))
+
+
+class TestStackedEnsemble:
+    def _deep_trees(self, seed=0, n=300, m=6, n_trees=5):
+        r = np.random.default_rng(seed)
+        x = np.round(r.normal(size=(n, m)), 1)
+        y = r.normal(size=n)
+        trees = []
+        for t in range(n_trees):
+            idx = r.integers(0, n, size=n)
+            trees.append(DecisionTreeRegressor().fit(x[idx], y[idx]))
+        return trees, r
+
+    def test_stacked_equals_per_tree_sum(self):
+        trees, r = self._deep_trees()
+        xq = r.normal(size=(500, 6))
+        stacked = StackedEnsemble(trees)
+        expect = np.zeros(500)
+        for tree in trees:
+            expect += tree.predict(xq)
+        assert np.array_equal(stacked.leaf_value_sum(xq), expect)
+
+    def test_stacked_scale_and_init(self):
+        trees, r = self._deep_trees(seed=1)
+        xq = r.normal(size=(200, 6))
+        stacked = StackedEnsemble(trees)
+        expect = np.full(200, -0.3)
+        for tree in trees:
+            expect += 0.1 * tree.predict(xq)
+        got = stacked.leaf_value_sum(xq, scale=0.1, init=-0.3)
+        assert np.array_equal(got, expect)
+
+    def test_stacked_column_remap(self):
+        r = np.random.default_rng(4)
+        x = r.normal(size=(150, 6))
+        y = r.normal(size=150)
+        cols = [np.array([0, 2, 5]), np.array([1, 3, 4])]
+        trees = [DecisionTreeRegressor(max_depth=3).fit(x[:, c], y)
+                 for c in cols]
+        stacked = StackedEnsemble(trees, columns=cols)
+        xq = r.normal(size=(70, 6))
+        expect = np.zeros(70)
+        for tree, c in zip(trees, cols):
+            expect += tree.predict(xq[:, c])
+        assert np.array_equal(stacked.leaf_value_sum(xq), expect)
+
+    def test_heap_and_pointer_layouts_agree(self):
+        # Shallow ensembles use the complete-heap walk, deep ones the
+        # pointer walk; force both over the same shallow trees.
+        r = np.random.default_rng(6)
+        x = np.round(r.normal(size=(200, 4)), 1)
+        y = r.normal(size=200)
+        trees = [DecisionTreeRegressor(max_depth=3).fit(x, y + t)
+                 for t in range(4)]
+        xq = r.normal(size=(300, 4))
+        heap = StackedEnsemble(trees)
+        assert heap._heap is not None
+        pointer = StackedEnsemble(trees)
+        pointer._heap = None
+        pointer._depth_order = np.argsort(pointer._depths, kind="stable")
+        assert np.array_equal(heap.leaf_value_sum(xq),
+                              pointer.leaf_value_sum(xq))
+
+    def test_root_only_ensemble(self):
+        x = np.ones((10, 2))
+        y = np.full(10, 3.0)
+        trees = [DecisionTreeRegressor().fit(x, y)]
+        stacked = StackedEnsemble(trees)
+        out = stacked.leaf_value_sum(np.zeros((5, 2)))
+        assert np.array_equal(out, np.full(5, 3.0))
+
+    def test_queries_outside_training_range(self):
+        trees, r = self._deep_trees(seed=8)
+        xq = np.concatenate([
+            r.normal(size=(50, 6)) * 100.0,
+            np.full((2, 6), 1e300),
+            np.full((2, 6), -1e300),
+        ])
+        stacked = StackedEnsemble(trees)
+        expect = np.zeros(len(xq))
+        for tree in trees:
+            expect += tree.predict(xq)
+        assert np.array_equal(stacked.leaf_value_sum(xq), expect)
+
+
+class TestDenseRanks:
+    def test_ranks_embed_order_with_ties(self):
+        r = np.random.default_rng(0)
+        x = np.round(r.normal(size=(100, 3)), 1)
+        ranks = dense_ranks(x)
+        assert ranks.dtype == np.uint16
+        for j in range(3):
+            order = np.argsort(x[:, j], kind="stable")
+            xv, rv = x[order, j], ranks[order, j]
+            assert np.all(np.diff(rv.astype(int)) >= 0)
+            same_val = np.diff(xv) == 0
+            assert np.array_equal(np.diff(rv.astype(int)) == 0, same_val)
+
+    def test_sample_sort_matches_value_sort(self):
+        r = np.random.default_rng(1)
+        x = np.round(r.normal(size=(80, 2)), 1)
+        ranks = dense_ranks(x)
+        idx = r.integers(0, 80, size=80)
+        by_rank = np.argsort(ranks[idx], axis=0, kind="stable")
+        by_value = np.argsort(x[idx], axis=0, kind="stable")
+        assert np.array_equal(by_rank, by_value)
