@@ -10,7 +10,12 @@ CPUs); the records are identical to a serial run.  ``REDS_BENCH_STORE``
 points at a persistent result-store directory: finished grid cells are
 cached there, so re-running a benchmark recomputes only what is missing
 (delete the directory, or change any result-affecting source file, to
-force a cold run).
+force a cold run).  ``REDS_ENGINE`` selects the kernel engine for every
+grid cell (``vectorized`` default / ``reference``), and
+``REDS_BENCH_SHARD=i/k`` runs only shard ``i`` of ``k`` of each grid,
+reading the other shards' records from the store — launch ``k``
+invocations against one ``REDS_BENCH_STORE`` to split a benchmark
+across machines or terminals with zero duplicated work.
 """
 
 from __future__ import annotations
@@ -42,6 +47,18 @@ TABLE4_METRICS = (
     ("n_restricted", "# restricted", 1.0),
     ("n_irrelevant", "# irrel", 1.0),
 )
+
+
+def best_of(f, repeats: int):
+    """Best wall-clock of ``repeats`` calls of ``f``: (seconds, result)."""
+    import time
+
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = f()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
 
 
 def emit(name: str, text: str) -> None:
@@ -97,6 +114,23 @@ def store_from_env():
     return open_store(path) if path else None
 
 
+def engine_from_env() -> str:
+    """Kernel engine from ``REDS_ENGINE`` (default ``"vectorized"``)."""
+    engine = os.environ.get("REDS_ENGINE", "vectorized").strip().lower()
+    if engine not in ("vectorized", "reference"):
+        raise ValueError(
+            f"REDS_ENGINE must be 'vectorized' or 'reference', got {engine!r}")
+    return engine
+
+
+def shard_from_env():
+    """Shard spec from ``REDS_BENCH_SHARD=i/k`` (None when unset)."""
+    from repro.experiments.parallel import parse_shard
+
+    value = os.environ.get("REDS_BENCH_SHARD", "").strip()
+    return parse_shard(value) if value else None
+
+
 def pick_l(scale: BenchScale, method: str) -> int | None:
     """The L override for REDS methods at this scale (None otherwise)."""
     spec = parse_method(method)
@@ -118,6 +152,12 @@ def run_method_grid(
 
     jobs = jobs_from_env()
     store = store_from_env()
+    engine = engine_from_env()
+    shard = shard_from_env()
+    if shard is not None and store is None:
+        raise ValueError(
+            "REDS_BENCH_SHARD coordinates through the store; "
+            "set REDS_BENCH_STORE too")
     records = []
     for method in methods:
         records.extend(run_batch(
@@ -132,5 +172,7 @@ def run_method_grid(
             bumping_repeats=scale.bumping_repeats,
             jobs=jobs,
             store=store,
+            engine=engine,
+            shard=shard,
         ))
     return records

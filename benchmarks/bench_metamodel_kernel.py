@@ -25,11 +25,9 @@ compares and loop-free leaf spins.  Machine-readable results land in
 ``results/`` at the repo root so the perf trajectory is tracked in git.
 """
 
-import time
-
 import numpy as np
 
-from _common import emit, emit_json
+from _common import best_of as _best_of, emit, emit_json
 from repro.metamodels.boosting import GradientBoostingModel
 from repro.metamodels.forest import RandomForestModel
 
@@ -49,15 +47,6 @@ FOREST_FIT_FLOOR = 4.5
 FOREST_PREDICT_FLOOR = 1.8
 BOOST_FIT_FLOOR = 1.25
 BOOST_PREDICT_FLOOR = 2.0
-
-
-def _best_of(f, repeats):
-    best, result = np.inf, None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = f()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def _dataset():

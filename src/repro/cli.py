@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.methods import discover as run_discover
 from repro.data import TABLE1, get_model
 from repro.experiments.harness import aggregate, get_test_data, run_batch
+from repro.experiments.parallel import EXECUTORS, parse_shard
 from repro.experiments.report import format_table
 from repro.experiments.store import open_store
 from repro.metrics import precision_recall, trajectory_of
@@ -47,7 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip metamodel hyperparameter tuning")
     one.add_argument("--test-size", type=int, default=10_000)
     one.add_argument("--engine", choices=ENGINES, default="vectorized",
-                     help="PRIM peeling engine (reference = slow exact twin)")
+                     help="kernel engine for every layer of the run "
+                          "(reference = slow exact twin)")
+    one.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the run's data-parallel "
+                          "stages — REDS pool labeling and metamodel "
+                          "tuning folds (0 = all CPUs); results are "
+                          "bit-identical at every setting")
 
     many = sub.add_parser("compare", help="compare methods on one model")
     many.add_argument("--function", required=True)
@@ -58,8 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("--n-new", type=int, default=20_000)
     many.add_argument("--no-tune", action="store_true")
     many.add_argument("--test-size", type=int, default=10_000)
+    many.add_argument("--engine", choices=ENGINES, default="vectorized",
+                      help="kernel engine threaded into every grid cell "
+                           "(reference = slow exact twin)")
     many.add_argument("--jobs", type=int, default=1,
                       help="worker processes for the grid (0 = all CPUs)")
+    many.add_argument("--executor", choices=EXECUTORS, default=None,
+                      help="execution strategy (default: serial or "
+                           "process, picked from --jobs)")
+    many.add_argument("--shard", metavar="I/K", default=None,
+                      help="run shard I of K of the grid and read the "
+                           "other shards' records from --store; "
+                           "concurrent invocations cooperate on one "
+                           "grid with zero duplicated work")
     many.add_argument("--store", metavar="DIR", default=None,
                       help="persistent result store: finished grid cells "
                            "are cached there and re-used on the next run")
@@ -97,6 +115,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         n_new=args.n_new,
         tune_metamodel=not args.no_tune,
         engine=args.engine,
+        jobs=args.jobs if args.jobs > 0 else None,
     )
     x_test, y_test = get_test_data(args.function, size=args.test_size)
     _, auc = trajectory_of(result.boxes, x_test, y_test)
@@ -115,6 +134,27 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    try:
+        shard = parse_shard(args.shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.executor == "sharded" and shard is None:
+        print("error: --executor sharded needs --shard I/K", file=sys.stderr)
+        return 2
+    if shard is not None and args.executor not in (None, "sharded"):
+        print(f"error: --shard runs on the sharded executor; drop "
+              f"--executor {args.executor}", file=sys.stderr)
+        return 2
+    if (shard is not None or args.executor == "sharded") and args.store is None:
+        print("error: --shard coordinates through the store; pass --store DIR",
+              file=sys.stderr)
+        return 2
+    if shard is not None and not args.resume:
+        print("error: --shard requires resume semantics (the store is the "
+              "coordination channel); use a fresh --store directory instead "
+              "of --no-cache", file=sys.stderr)
+        return 2
     store = open_store(args.store)
     records = run_batch(
         (args.function,), methods, args.n, args.reps,
@@ -124,6 +164,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs if args.jobs > 0 else None,
         store=store,
         resume=args.resume,
+        engine=args.engine,
+        executor=args.executor,
+        shard=shard,
     )
     if store is not None:
         print(f"store {args.store}: {store.hits} cached, "

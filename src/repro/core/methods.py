@@ -129,6 +129,8 @@ def discover(
     tune_metamodel: bool = True,
     paste: bool = False,
     engine: str = "vectorized",
+    jobs: int | None = 1,
+    chunk_rows: int | None = None,
 ) -> DiscoveryResult:
     """Run the method ``name`` on dataset ``(x, y)``.
 
@@ -142,7 +144,11 @@ def discover(
     :func:`repro.subgroup.prim.prim_peel` and
     :func:`repro.subgroup.best_interval.best_interval`) *and* the
     metamodel layer of REDS methods (tree growth and stacked ensemble
-    prediction, see :mod:`repro.metamodels._kernels`).
+    prediction, see :mod:`repro.metamodels._kernels`); ``jobs`` /
+    ``chunk_rows`` fan the data-parallel REDS stages (metamodel tuning
+    folds, pool labeling) out over worker processes with bit-identical
+    results — they are ignored by the non-REDS methods, whose work is
+    a single sequential search.
     """
     spec = parse_method(name)
     x = np.asarray(x, dtype=float)
@@ -221,6 +227,8 @@ def discover(
             tune=tune_metamodel,
             rng=rng,
             engine=engine,
+            jobs=jobs,
+            chunk_rows=chunk_rows,
         )
         sd_output = reds_result.sd_output
     else:

@@ -2,15 +2,18 @@
 
 :mod:`repro.experiments.harness` runs (function, method, N, seed)
 combinations and aggregates the paper's quality measures;
-:mod:`repro.experiments.parallel` fans those grids out over a process
-pool (the ``jobs`` knob) with results identical to the serial loop;
-:mod:`repro.experiments.store` persists finished records in an on-disk
-content-addressed store (the ``store``/``resume`` knobs) so grids are
-resumable and incremental; :mod:`repro.experiments.design` holds the
-per-table/figure experiment configurations;
-:mod:`repro.experiments.report` renders the paper's table rows and
-figure series as text; :mod:`repro.experiments.stats` implements the
-significance tests of Section 9.
+:mod:`repro.experiments.parallel` compiles those grids into explicit
+execution plans and runs them on pluggable executors — serial, process
+pool, or store-coordinated shards — with results identical to the
+serial loop; :mod:`repro.experiments.dataplane` is the shared-memory
+broker that maps each plan's large read-only arrays zero-copy into
+worker processes; :mod:`repro.experiments.store` persists finished
+records in an on-disk content-addressed store (the ``store``/``resume``
+knobs) so grids are resumable, incremental and shardable;
+:mod:`repro.experiments.design` holds the per-table/figure experiment
+configurations; :mod:`repro.experiments.report` renders the paper's
+table rows and figure series as text; :mod:`repro.experiments.stats`
+implements the significance tests of Section 9.
 """
 
 from repro.experiments.harness import (
@@ -24,9 +27,29 @@ from repro.experiments.harness import (
     average_over_functions,
     make_train_data,
     get_test_data,
+    register_test_data,
+)
+from repro.experiments.dataplane import (
+    ArrayRef,
+    DataPlane,
+    content_key,
+    dataplane_enabled,
 )
 from repro.experiments.design import BenchScale, scale_from_env, EXPERIMENTS
-from repro.experiments.parallel import default_jobs, execute, warm_test_cache
+from repro.experiments.parallel import (
+    EXECUTORS,
+    ExecutionPlan,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    compile_plan,
+    default_jobs,
+    execute,
+    get_executor,
+    parse_shard,
+    run_chunked,
+    warm_test_cache,
+)
 from repro.experiments.store import (
     ExperimentStore,
     ExperimentStoreError,
@@ -46,11 +69,25 @@ __all__ = [
     "average_over_functions",
     "make_train_data",
     "get_test_data",
+    "register_test_data",
+    "ArrayRef",
+    "DataPlane",
+    "content_key",
+    "dataplane_enabled",
     "BenchScale",
     "scale_from_env",
     "EXPERIMENTS",
+    "EXECUTORS",
+    "ExecutionPlan",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "compile_plan",
     "default_jobs",
     "execute",
+    "get_executor",
+    "parse_shard",
+    "run_chunked",
     "warm_test_cache",
     "ExperimentStore",
     "ExperimentStoreError",

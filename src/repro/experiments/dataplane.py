@@ -1,0 +1,293 @@
+"""Shared-memory data plane: publish arrays once, map them zero-copy.
+
+The execution plans of :mod:`repro.experiments.parallel` ship large
+read-only arrays (test samples, query matrices, CV datasets) to worker
+processes.  Before this module existed every worker either regenerated
+the arrays from scratch (the ``get_test_data`` warmup) or received a
+pickled copy inside each task's kwargs — both scale with the worker
+count, not with the data.  The data plane materializes each array
+**once** in the parent, places it in a POSIX shared-memory segment
+(:mod:`multiprocessing.shared_memory`), and hands workers a tiny
+picklable :class:`ArrayRef` that maps the segment read-only into their
+address space without copying a byte.
+
+Design:
+
+* **Content-addressed refs.**  Every published array is identified by a
+  key — by default the SHA-256 of its dtype, shape and bytes
+  (:func:`content_key`) — so publishing the same content twice through
+  one :class:`DataPlane` reuses the existing segment, and the addressing
+  scheme composes with the content-addressed experiment store of
+  :mod:`repro.experiments.store` (both layers name immutable values by
+  their content, never by their position in a run).
+* **Inline fallback.**  When shared memory is unavailable (exotic
+  platforms, or ``REDS_DATAPLANE=0``) refs simply carry the array
+  inline; everything still works, workers just pay the pickling cost the
+  plane exists to avoid.
+* **Deterministic teardown.**  :meth:`DataPlane.unlink` removes every
+  segment name on both clean and exceptional exits (the executors call
+  it from ``finally`` blocks) and an ``atexit`` hook sweeps anything a
+  crashed caller left behind, so no run leaks ``/dev/shm`` entries.
+
+Worker-side attaches are cached per process and unregistered from the
+``multiprocessing`` resource tracker: on Python < 3.13 an attaching
+process registers the segment a second time, and the tracker would
+otherwise unlink it prematurely (and warn) when that worker exits while
+the parent still owns the segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import secrets
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shm_module
+except ImportError:  # pragma: no cover
+    _shm_module = None
+
+__all__ = [
+    "ArrayRef",
+    "DataPlane",
+    "content_key",
+    "dataplane_enabled",
+    "resolve_refs",
+    "active_segments",
+]
+
+#: Prefix of every segment name this module creates; tests (and humans
+#: inspecting /dev/shm) can recognise data-plane segments by it.
+SEGMENT_PREFIX = "reds-dp-"
+
+
+def dataplane_enabled() -> bool:
+    """Whether refs may use shared memory (``REDS_DATAPLANE=0`` opts out)."""
+    return _shm_module is not None and \
+        os.environ.get("REDS_DATAPLANE", "1") != "0"
+
+
+def content_key(array: np.ndarray) -> str:
+    """SHA-256 content address of an array (dtype, shape and bytes).
+
+    Identical content gives identical keys across processes and runs,
+    mirroring the task-key scheme of the experiment store.
+    """
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(array.dtype.str.encode())
+    digest.update(repr(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+#: Per-process cache of attached segments: name -> (SharedMemory, view).
+#: Parent publishes seed their own entries, workers fill theirs on first
+#: resolve, so every process maps each segment at most once.
+_ATTACHED: dict[str, tuple[object, np.ndarray]] = {}
+
+
+def _attach_segment(name: str, shape: tuple, dtype: str) -> np.ndarray:
+    """Map a named segment read-only, caching the handle for this process."""
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[1]
+    if _shm_module is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("shared memory is unavailable on this platform")
+    segment = _shm_module.SharedMemory(name=name)
+    try:
+        # Attaching registers the segment with the resource tracker a
+        # second time (bpo-38119); without this unregister the tracker
+        # would unlink the parent's segment when this worker exits.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+    view.setflags(write=False)
+    _ATTACHED[name] = (segment, view)
+    return view
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable handle to one published array.
+
+    ``segment`` names the shared-memory block holding the data; when it
+    is ``None`` the ref is an inline fallback and ``data`` carries the
+    array itself (so refs always resolve, with or without a plane).
+    """
+
+    key: str
+    shape: tuple
+    dtype: str
+    segment: str | None = None
+    data: np.ndarray | None = field(default=None, compare=False, repr=False)
+
+    def resolve(self) -> np.ndarray:
+        """The referenced array, read-only; zero-copy when shm-backed."""
+        if self.segment is None:
+            if self.data is None:
+                raise ValueError(f"ref {self.key[:12]} has neither a "
+                                 f"segment nor inline data")
+            return self.data
+        return _attach_segment(self.segment, self.shape, self.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)
+                   * np.dtype(self.dtype).itemsize)
+
+
+#: Live planes, swept by the atexit hook so interpreter shutdown unlinks
+#: whatever an aborted caller did not.
+_PLANES: "weakref.WeakSet[DataPlane]" = weakref.WeakSet()
+
+
+class DataPlane:
+    """Parent-side broker of shared-memory segments for one plan.
+
+    Publish arrays before dispatching work, pass the returned refs
+    (inside task kwargs or the plan context) to workers, and call
+    :meth:`unlink` when the plan finishes — the executors do this in
+    ``finally`` blocks so segments never outlive their plan, poisoned
+    tasks included.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, ArrayRef] = {}
+        self._handles: dict[str, object] = {}
+        self._unlinked = False
+        _PLANES.add(self)
+
+    # ------------------------------------------------------------------
+    def publish(self, array: np.ndarray, key: str | None = None) -> ArrayRef:
+        """Place ``array`` in shared memory and return its ref.
+
+        ``key`` defaults to :func:`content_key`; publishing a key this
+        plane already holds returns the existing ref without touching
+        the data (content addressing makes that safe).  With shared
+        memory disabled the ref carries a read-only copy inline.
+        """
+        if self._unlinked:
+            raise RuntimeError("this data plane has been unlinked")
+        array = np.ascontiguousarray(array)
+        if key is None:
+            key = content_key(array)
+        existing = self._segments.get(key)
+        if existing is not None:
+            return existing
+        if not dataplane_enabled():
+            data = array.copy()
+            data.setflags(write=False)
+            ref = ArrayRef(key=key, shape=array.shape,
+                           dtype=array.dtype.str, data=data)
+            self._segments[key] = ref
+            return ref
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(6)}"
+        segment = _shm_module.SharedMemory(
+            create=True, size=max(array.nbytes, 1), name=name)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        view.setflags(write=False)
+        ref = ArrayRef(key=key, shape=array.shape,
+                       dtype=array.dtype.str, segment=name)
+        self._segments[key] = ref
+        self._handles[name] = segment
+        # Seat the parent's attach cache so in-process resolves (serial
+        # executors, chunked fallbacks) reuse this mapping for free.
+        _ATTACHED[name] = (segment, view)
+        return ref
+
+    def refs(self) -> dict[str, ArrayRef]:
+        """All published refs, by content key."""
+        return dict(self._segments)
+
+    def segment_names(self) -> list[str]:
+        """Names of the live segments this plane owns."""
+        return [] if self._unlinked else list(self._handles)
+
+    # ------------------------------------------------------------------
+    def unlink(self) -> None:
+        """Remove every segment name; idempotent, safe mid-failure.
+
+        Unlinking removes the name immediately (no new process can
+        attach) while existing mappings stay valid until each process
+        drops them, so in-flight readers are never invalidated.  The
+        parent's own mappings are closed here too unless a resolved view
+        is still referenced, in which case the OS reclaims them at
+        process exit.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for name, segment in self._handles.items():
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            entry = _ATTACHED.pop(name, None)
+            del entry
+            try:
+                segment.close()
+            except BufferError:
+                # A caller still holds a resolved view; leave the
+                # mapping open (it stays valid) and let process exit
+                # reclaim it.
+                pass
+            except OSError:  # pragma: no cover - platform specific
+                pass
+        self._handles.clear()
+        self._segments.clear()
+
+    def __enter__(self) -> "DataPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+
+def active_segments() -> list[str]:
+    """Segment names of every live (not yet unlinked) plane in this
+    process — empty after clean teardown; tests assert on this."""
+    names: list[str] = []
+    for plane in list(_PLANES):
+        names.extend(plane.segment_names())
+    return names
+
+
+@atexit.register
+def _sweep_planes() -> None:  # pragma: no cover - interpreter shutdown
+    for plane in list(_PLANES):
+        try:
+            plane.unlink()
+        except Exception:
+            pass
+
+
+def resolve_refs(obj):
+    """Replace every :class:`ArrayRef` in a nested structure by its array.
+
+    Dicts, lists and tuples are traversed (rebuilt only when something
+    inside actually changed); everything else passes through untouched.
+    Used on plan contexts at worker bootstrap and by the serial executor.
+    """
+    if isinstance(obj, ArrayRef):
+        return obj.resolve()
+    if isinstance(obj, dict):
+        return {k: resolve_refs(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return type(obj)(resolve_refs(v) for v in obj)
+    return obj

@@ -52,6 +52,7 @@ __all__ = [
     "average_over_functions",
     "make_train_data",
     "get_test_data",
+    "register_test_data",
     "reds_sampler_for",
     "discrete_levels_for",
     "DEFAULT_THIRD_PARTY_ALPHA",
@@ -59,6 +60,14 @@ __all__ = [
 
 _TEST_SEED = 987_654
 _TEST_SIZE = 20_000
+
+#: Bound on the per-process test-data cache.  Each entry holds a
+#: 20000-point sample (~2 MB at M = 10), grids visit functions
+#: function-major, and data-plane workers resolve shared memory instead
+#: of generating — so a handful of slots suffices and a worker that
+#: sweeps many (function, variant, size) cells no longer accumulates
+#: every test set it ever touched for the life of the process.
+_TEST_CACHE_SIZE = 8
 
 #: Section 9.3: alpha = 0.1 for "TGL" (following [58]), default otherwise.
 DEFAULT_THIRD_PARTY_ALPHA = {"TGL": 0.1, "lake": 0.05}
@@ -110,17 +119,41 @@ def make_train_data(
     return x, model.label(x, rng)
 
 
-@lru_cache(maxsize=256)
+#: Data-plane refs of test samples published by the execution plan,
+#: keyed by (function, variant, size).  Worker bootstrap fills this
+#: (:func:`register_test_data`), after which :func:`get_test_data` maps
+#: the parent's arrays zero-copy instead of regenerating them.
+_PLANE_TEST_DATA: dict[tuple, tuple] = {}
+
+
+def register_test_data(refs: dict) -> None:
+    """Map data-plane test arrays into this process.
+
+    Called by the worker initializer of
+    :class:`repro.experiments.parallel.ProcessExecutor` with the plan's
+    ``{(function, variant, size): (x_ref, y_ref)}`` refs.
+    """
+    _PLANE_TEST_DATA.update(refs)
+
+
+@lru_cache(maxsize=_TEST_CACHE_SIZE)
 def get_test_data(function: str, variant: str = "continuous",
                   size: int = _TEST_SIZE) -> tuple[np.ndarray, np.ndarray]:
     """The fixed independent test sample for a function and variant.
 
-    Cached: generating 20000 dsgc simulations takes a few seconds and
-    every method comparison reuses the same test set, like the paper.
-    The returned arrays are read-only — the cache hands every caller
-    the same objects, so an in-place edit would silently corrupt the
-    test set of every later run.
+    Cached (bounded, :data:`_TEST_CACHE_SIZE` entries): generating 20000
+    dsgc simulations takes a few seconds and every method comparison
+    reuses the same test set, like the paper.  When the execution plan
+    published this sample through the data plane
+    (:func:`register_test_data`), the shared-memory arrays are returned
+    zero-copy instead of regenerating.  The returned arrays are
+    read-only — the cache hands every caller the same objects, so an
+    in-place edit would silently corrupt the test set of every later
+    run.
     """
+    refs = _PLANE_TEST_DATA.get((function, variant, size))
+    if refs is not None:
+        return refs[0].resolve(), refs[1].resolve()
     model = get_model(function)
     rng = np.random.default_rng(_TEST_SEED)
     if variant == "logitnormal":
@@ -205,6 +238,7 @@ def run_single(
     tune_metamodel: bool = True,
     test_size: int = _TEST_SIZE,
     bumping_repeats: int = 50,
+    engine: str = "vectorized",
 ) -> RunRecord:
     """One experiment: simulate, discover, measure on the test sample.
 
@@ -233,6 +267,12 @@ def run_single(
         Size of the independent test sample.
     bumping_repeats:
         ``Q`` of PRIM-with-bumping.
+    engine:
+        Kernel engine (``"vectorized"`` / ``"reference"``) threaded
+        into :func:`repro.core.methods.discover`.  Both engines are
+        pinned bit-identical, but the choice is part of the task
+        configuration (and therefore of the store key) so a cached
+        record always states how it was produced.
 
     Returns
     -------
@@ -250,6 +290,7 @@ def run_single(
         n_repeats=bumping_repeats,
         sampler=reds_sampler_for(variant),
         tune_metamodel=tune_metamodel,
+        engine=engine,
     )
     measures = evaluate_boxes(result, x_test, y_test, model.relevant)
     return RunRecord(
@@ -284,13 +325,18 @@ def run_batch(
     jobs: int | None = 1,
     store=None,
     resume: bool = True,
+    engine: str = "vectorized",
+    executor=None,
+    shard=None,
 ) -> list[RunRecord]:
     """The full grid: every function x method x repetition.
 
-    With ``jobs`` > 1 (or None for all CPUs) the grid is dispatched
-    over a process pool; every task carries its grid-position seed and
-    results come back in grid order, so the records are identical to
-    the serial run whatever the worker scheduling.
+    The grid compiles to an
+    :class:`~repro.experiments.parallel.ExecutionPlan` (seeds fixed at
+    plan time from grid position, test samples published once through
+    the data plane) and runs on a pluggable executor.  With ``jobs`` > 1
+    (or None for all CPUs) that is a process pool; records come back in
+    grid order, identical to the serial run whatever the scheduling.
 
     Parameters
     ----------
@@ -303,20 +349,30 @@ def run_batch(
     resume:
         With a store, ``False`` ignores existing records (everything
         recomputes and overwrites); reading is the default.
+    engine:
+        Kernel engine threaded into every cell (part of the task
+        configuration, hence of the store key).
+    executor, shard:
+        Execution strategy (see
+        :func:`repro.experiments.parallel.get_executor`):
+        ``shard=(i, k)`` or ``"i/k"`` splits the grid across
+        store-coordinated invocations that cooperate on one store with
+        zero duplicated task executions.
     """
     from repro.experiments.parallel import execute
 
     tasks = [
         dict(function=function, method=method, n=n, seed=base_seed + rep,
              variant=variant, n_new=n_new, tune_metamodel=tune_metamodel,
-             test_size=test_size, bumping_repeats=bumping_repeats)
+             test_size=test_size, bumping_repeats=bumping_repeats,
+             engine=engine)
         for function in functions
         for method in methods
         for rep in range(n_reps)
     ]
     warmup = sorted({(function, variant, test_size) for function in functions})
     return execute(run_single, tasks, jobs, warmup=warmup,
-                   store=store, resume=resume)
+                   store=store, resume=resume, executor=executor, shard=shard)
 
 
 def _third_party_single(
@@ -330,6 +386,7 @@ def _third_party_single(
     n_new: int | None = None,
     tune_metamodel: bool = True,
     base_seed: int = 77,
+    engine: str = "vectorized",
 ) -> RunRecord:
     """One (repetition, fold) cell of the Section 9.3 cross-validation.
 
@@ -349,6 +406,7 @@ def _third_party_single(
         alpha=alpha,
         n_new=n_new,
         tune_metamodel=tune_metamodel,
+        engine=engine,
     )
     trajectory = peeling_trajectory(result.boxes, x[test], y[test])
     prec, rec = precision_recall(result.chosen_box, x[test], y[test])
@@ -382,25 +440,31 @@ def run_third_party(
     jobs: int | None = 1,
     store=None,
     resume: bool = True,
+    engine: str = "vectorized",
+    executor=None,
+    shard=None,
 ) -> list[RunRecord]:
     """Section 9.3: repeated k-fold cross-validation on a fixed table.
 
     No simulation model exists, so quality is measured on held-out
     folds; the paper runs 5-fold CV ten times and averages.  For "TGL"
-    the paper follows earlier work and uses ``alpha = 0.1``.  ``jobs``
-    parallelises the (repetition, fold) cells like :func:`run_batch`,
-    and ``store``/``resume`` make them cacheable the same way.
+    the paper follows earlier work and uses ``alpha = 0.1``.  ``jobs``,
+    ``executor`` and ``shard`` parallelise the (repetition, fold) cells
+    like :func:`run_batch`, and ``store``/``resume`` make them
+    cacheable the same way.
     """
     from repro.experiments.parallel import execute
 
     tasks = [
         dict(dataset=dataset, method=method, rep=rep, fold=fold,
              n_splits=n_splits, alpha=alpha, n_new=n_new,
-             tune_metamodel=tune_metamodel, base_seed=base_seed)
+             tune_metamodel=tune_metamodel, base_seed=base_seed,
+             engine=engine)
         for rep in range(n_reps)
         for fold in range(n_splits)
     ]
-    return execute(_third_party_single, tasks, jobs, store=store, resume=resume)
+    return execute(_third_party_single, tasks, jobs, store=store,
+                   resume=resume, executor=executor, shard=shard)
 
 
 def aggregate_third_party(records: list[RunRecord]) -> dict:

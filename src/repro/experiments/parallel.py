@@ -1,44 +1,92 @@
-"""Parallel experiment engine: fan experiment grids out over processes.
+"""Plan/executor engine: compile experiment grids, run them anywhere.
 
-:func:`run_batch` and :func:`run_third_party` in
-:mod:`repro.experiments.harness` describe their grids as flat,
-deterministic task lists (one kwargs dict per ``run_single`` /
-``_third_party_single`` call) and hand them to :func:`execute` here.
-Three properties make the parallel path bit-identical to the serial
-one (locked down by ``tests/test_parallel_harness.py``):
+Work in this repo — :func:`~repro.experiments.harness.run_batch` /
+:func:`~repro.experiments.harness.run_third_party` grids, the
+benchmark sweeps, and the row-chunked compute fan-outs of the metamodel
+layer — describes itself as a flat, deterministic task list (one kwargs
+dict per call of a module-level function) and hands it to
+:func:`execute` here.  Execution happens in three explicit layers:
+
+* **Plan.**  :func:`compile_plan` freezes the work into an
+  :class:`ExecutionPlan`: the task list (seeds fixed at plan time, from
+  grid position), each task's original grid index and store key, and
+  the data-plane refs of every shared array (test samples, plan
+  context) published once through
+  :class:`~repro.experiments.dataplane.DataPlane`.  Nothing about a
+  compiled plan depends on which executor later runs it.
+* **Executors.**  :class:`SerialExecutor` (the reference loop),
+  :class:`ProcessExecutor` (a process pool whose workers map the plan's
+  shared arrays zero-copy instead of regenerating or unpickling them),
+  and :class:`ShardedExecutor` (the plan split across store-coordinated
+  shards so independent invocations cooperate on one grid).  All three
+  return bit-identical results in task-list order — locked down by
+  ``tests/test_parallel_harness.py``.
+* **Data plane.**  Executors that cross process boundaries publish the
+  plan's arrays through a :class:`~repro.experiments.dataplane.DataPlane`
+  and unlink every segment in a ``finally`` block, so clean runs and
+  poisoned tasks alike leave no shared memory behind.
+
+Three properties keep every executor bit-identical to the serial loop:
 
 * **seed-stable task ordering** — every task carries its explicit seed,
-  computed from its grid position at dispatch time, so the work a task
-  does never depends on which worker picks it up;
-* **deterministic collection** — results are gathered by submission
-  index, not completion order, so the returned list matches the serial
-  loop regardless of worker scheduling;
-* **per-worker test-data cache** — the ``lru_cache`` on
-  :func:`repro.experiments.harness.get_test_data` does not cross
-  process boundaries, so each worker warms its own cache once at
-  startup instead of regenerating the 20000-point test sample for
-  every task it runs.
+  computed from its grid position at plan time, so the work a task does
+  never depends on which worker (or shard) picks it up;
+* **deterministic collection** — results are gathered by plan index,
+  not completion order;
+* **shared immutable inputs** — workers read the very same test arrays
+  the parent materialized, through the data plane, instead of
+  regenerating them per worker.
 
-``jobs <= 1`` falls back to a plain serial loop (no executor, no
-pickling), which is also the default everywhere.
+``jobs <= 1`` falls back to the serial executor (no pool, no pickling),
+which is also the default everywhere.
 
 With ``store=`` (an :class:`~repro.experiments.store.ExperimentStore`
 or a directory path) :func:`execute` becomes resumable: cached records
 are loaded up front, only the missing tasks are dispatched, and every
-fresh record is persisted as soon as the pool returns it.  All store
-I/O happens in the parent process, so workers need no locking and a
-crash mid-grid loses at most the in-flight tasks.
+fresh record is persisted as soon as it completes.  All store I/O
+happens in the dispatching process, so workers need no locking and a
+crash mid-grid loses at most the in-flight tasks.  The store doubles as
+the coordination substrate of sharded execution: shard ``i`` of ``k``
+executes only the pending tasks whose grid index is congruent to ``i``
+(zero duplicated work by construction) and reads every other record
+from the store as the sibling invocations publish them.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
 
+from repro.experiments.dataplane import (
+    ArrayRef,
+    DataPlane,
+    dataplane_enabled,
+    resolve_refs,
+)
 from repro.experiments.store import MISSING, open_store
 
-__all__ = ["default_jobs", "execute", "warm_test_cache"]
+__all__ = [
+    "ExecutionPlan",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "EXECUTORS",
+    "compile_plan",
+    "default_jobs",
+    "execute",
+    "get_executor",
+    "parse_shard",
+    "plan_context",
+    "run_chunked",
+    "warm_test_cache",
+]
+
+#: Names accepted by ``executor=`` arguments and the CLI ``--executor``.
+EXECUTORS = ("serial", "process", "sharded")
 
 
 def default_jobs() -> int:
@@ -47,25 +95,411 @@ def default_jobs() -> int:
 
 
 def warm_test_cache(specs: Sequence[tuple[str, str, int]]) -> None:
-    """Fill this process's test-data cache for (function, variant, size)."""
+    """Fill this process's test-data cache for (function, variant, size).
+
+    The pre-data-plane warmup path, kept as the fallback when shared
+    memory is unavailable: each worker regenerates the test sets once at
+    bootstrap instead of once per task.
+    """
     from repro.experiments.harness import get_test_data
 
     for function, variant, size in specs:
         get_test_data(function, variant, size)
 
 
-def _init_worker(warmup: tuple[tuple[str, str, int], ...]) -> None:
-    """Worker startup: pre-generate the test sets the tasks will need.
+# ----------------------------------------------------------------------
+# Execution plans
+# ----------------------------------------------------------------------
 
-    Failures are deliberately swallowed — a broken spec would otherwise
-    crash the worker at bootstrap, while the task that actually needs
-    it reports the real error through its future.
+@dataclass
+class ExecutionPlan:
+    """A compiled, executor-independent description of a grid's work.
+
+    Attributes
+    ----------
+    func:
+        Module-level task function; workers import it by qualified name.
+    tasks:
+        One kwargs dict per call.  Seeds are already inside (fixed at
+        plan time from grid position), so execution order cannot change
+        any result.
+    indices:
+        Original grid position of each task — the stable identity that
+        sharded executors partition on, independent of how many tasks a
+        warm store already resolved.
+    keys:
+        Store key per task (``None`` without a store).
+    warmup:
+        (function, variant, size) test-data specs the tasks will read;
+        the fallback worker bootstrap when the data plane is disabled.
+    test_refs:
+        Data-plane refs ``{spec: (x_ref, y_ref)}`` of the materialized
+        test arrays; workers register them so ``get_test_data`` maps
+        shared memory instead of regenerating 20000-point samples.
+    context:
+        Arbitrary picklable object shipped once per worker (not per
+        task) and exposed through :func:`plan_context`; may contain
+        :class:`~repro.experiments.dataplane.ArrayRef` values, which are
+        resolved at worker bootstrap.
+    store:
+        The coordinating store (sharded execution reads foreign records
+        from it).
     """
+
+    func: Callable
+    tasks: list[dict]
+    indices: tuple[int, ...] = ()
+    keys: tuple[str, ...] | None = None
+    warmup: tuple[tuple[str, str, int], ...] = ()
+    test_refs: dict | None = None
+    context: object = None
+    store: object = None
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            self.indices = tuple(range(len(self.tasks)))
+        if len(self.indices) != len(self.tasks):
+            raise ValueError(
+                f"{len(self.tasks)} tasks but {len(self.indices)} indices")
+
+    def subset(self, selection: Sequence[int]) -> "ExecutionPlan":
+        """A plan over a subset of this plan's tasks (shared refs/context)."""
+        return replace(
+            self,
+            tasks=[self.tasks[j] for j in selection],
+            indices=tuple(self.indices[j] for j in selection),
+            keys=(None if self.keys is None
+                  else tuple(self.keys[j] for j in selection)),
+        )
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def compile_plan(
+    func: Callable,
+    tasks: Sequence[dict],
+    *,
+    indices: Sequence[int] | None = None,
+    keys: Sequence[str] | None = None,
+    warmup: Sequence[tuple[str, str, int]] = (),
+    context: object = None,
+    shared: dict | None = None,
+    store=None,
+    plane: DataPlane | None = None,
+) -> ExecutionPlan:
+    """Freeze a task list into an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    shared:
+        ``{name: ndarray}`` of large read-only inputs every task needs.
+        With a ``plane`` they are published to shared memory and their
+        refs merged into the plan context under their names; without
+        one they are merged inline (serial execution reads them
+        directly).
+    plane:
+        Data plane to publish through.  When given, the ``warmup`` test
+        sets are materialized once here in the parent and published as
+        ``test_refs``, replacing per-worker regeneration.
+    """
+    tasks = list(tasks)
+    warmup = tuple(tuple(spec) for spec in warmup)
+    test_refs = None
+    if plane is not None and warmup:
+        from repro.experiments.harness import get_test_data
+
+        test_refs = {}
+        for spec in warmup:
+            x, y = get_test_data(*spec)
+            test_refs[spec] = (plane.publish(x), plane.publish(y))
+    if shared:
+        published = ({name: plane.publish(array)
+                      for name, array in shared.items()}
+                     if plane is not None else dict(shared))
+        base = dict(context) if isinstance(context, dict) else \
+            ({} if context is None else {"context": context})
+        context = {**base, **published}
+    return ExecutionPlan(
+        func=func,
+        tasks=tasks,
+        indices=tuple(indices) if indices is not None else (),
+        keys=tuple(keys) if keys is not None else None,
+        warmup=warmup,
+        test_refs=test_refs,
+        context=context,
+        store=store,
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan context plumbing (shared arrays / models for chunked tasks)
+# ----------------------------------------------------------------------
+
+#: Worker-process context, set once at pool bootstrap (workers are
+#: single-threaded, so a plain global is safe there).
+_PLAN_CONTEXT: object = None
+_CONTEXT_ERROR: BaseException | None = None
+
+#: In-process (serial-executor) context, thread-local: concurrent
+#: in-process executions — e.g. sharded invocations driven from
+#: threads — must not see each other's arrays.
+_TLS = threading.local()
+
+
+def plan_context():
+    """The running plan's resolved context (shared arrays, models, ...).
+
+    Valid inside task functions while an executor is running a plan
+    whose ``context`` is set: the serial executor installs it around its
+    loop (per thread), process workers resolve it once at bootstrap.
+    """
+    local = getattr(_TLS, "context", None)
+    if local is not None:
+        return local
+    if _CONTEXT_ERROR is not None:
+        raise RuntimeError(
+            "the execution-plan context failed to initialise in this "
+            "worker") from _CONTEXT_ERROR
+    if _PLAN_CONTEXT is None:
+        raise RuntimeError("no execution-plan context is active in this "
+                           "process")
+    return _PLAN_CONTEXT
+
+
+def _init_worker(warmup, test_refs, context) -> None:
+    """Worker bootstrap: map shared test data, resolve the plan context.
+
+    Test-data failures are deliberately swallowed — a broken spec would
+    otherwise crash the worker at startup, while the task that actually
+    needs it reports the real error through its future.  Context
+    failures are remembered and re-raised by :func:`plan_context` from
+    the task that relies on them.
+    """
+    global _PLAN_CONTEXT, _CONTEXT_ERROR
     try:
-        warm_test_cache(warmup)
+        if test_refs:
+            from repro.experiments.harness import register_test_data
+
+            register_test_data(test_refs)
+        elif warmup:
+            warm_test_cache(warmup)
     except Exception:
         pass
+    try:
+        _PLAN_CONTEXT = resolve_refs(context)
+        _CONTEXT_ERROR = None
+    except BaseException as exc:  # noqa: BLE001 - surfaced via plan_context
+        _PLAN_CONTEXT = None
+        _CONTEXT_ERROR = exc
 
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+class SerialExecutor:
+    """The reference loop: run every task inline, in plan order."""
+
+    #: Serial execution reads parent memory directly — no plane needed.
+    wants_plane = False
+
+    def run(self, plan: ExecutionPlan,
+            on_result: Callable[[int, object], None] | None = None) -> list:
+        previous = getattr(_TLS, "context", None)
+        _TLS.context = resolve_refs(plan.context)
+        try:
+            results = []
+            for index, task in enumerate(plan.tasks):
+                record = plan.func(**task)
+                if on_result is not None:
+                    on_result(index, record)
+                results.append(record)
+            return results
+        finally:
+            _TLS.context = previous
+
+
+class ProcessExecutor:
+    """Fan a plan out over a process pool (today's ``jobs=N`` path).
+
+    Workers bootstrap by mapping the plan's shared arrays (test data,
+    context refs) zero-copy from the data plane — or, when the plane is
+    unavailable, by warming their own test cache — then pull tasks until
+    the plan drains.  Results are collected by plan index, so the
+    returned list matches the serial loop regardless of scheduling.
+    """
+
+    wants_plane = True
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = jobs
+
+    def run(self, plan: ExecutionPlan,
+            on_result: Callable[[int, object], None] | None = None) -> list:
+        jobs = default_jobs() if self.jobs is None else self.jobs
+        if jobs <= 1 or len(plan.tasks) <= 1:
+            return SerialExecutor().run(plan, on_result)
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(plan.tasks)),
+            initializer=_init_worker,
+            initargs=(plan.warmup, plan.test_refs, plan.context),
+        ) as pool:
+            futures = [pool.submit(plan.func, **task) for task in plan.tasks]
+            try:
+                if on_result is not None:
+                    index_of = {future: i for i, future in enumerate(futures)}
+                    for future in as_completed(futures):
+                        on_result(index_of[future], future.result())
+                return [future.result() for future in futures]
+            except BaseException:
+                # Fail fast: don't let a long grid grind to completion
+                # behind an already-doomed run.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+class ShardedExecutor:
+    """Split one plan across independent store-coordinated invocations.
+
+    Shard ``i`` of ``k`` executes exactly the tasks whose **grid index**
+    is congruent to ``i`` modulo ``k`` — a deterministic partition, so
+    concurrent invocations against one store never duplicate a task —
+    and obtains every other record from the store as the sibling
+    invocations persist theirs.  Each invocation therefore returns the
+    full grid, identical to a serial run.
+
+    All ``k`` shards must eventually run (concurrently or one after
+    another); ``timeout`` bounds how long this invocation waits for its
+    siblings' records before raising.
+    """
+
+    wants_plane = True
+
+    def __init__(self, shard: int, of: int, *, jobs: int | None = None,
+                 poll_interval: float = 0.05, timeout: float = 3600.0) -> None:
+        if of < 1:
+            raise ValueError(f"shard count must be >= 1, got {of}")
+        if not 0 <= shard < of:
+            raise ValueError(f"shard must be in [0, {of}), got {shard}")
+        self.shard = shard
+        self.of = of
+        self.jobs = jobs
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+
+    def run(self, plan: ExecutionPlan,
+            on_result: Callable[[int, object], None] | None = None) -> list:
+        if plan.store is None or plan.keys is None:
+            raise ValueError(
+                "sharded execution coordinates through the experiment "
+                "store; pass store= (and keep resume semantics) so every "
+                "shard can read its siblings' records")
+        own = [j for j in range(len(plan.tasks))
+               if plan.indices[j] % self.of == self.shard]
+        foreign = [j for j in range(len(plan.tasks))
+                   if plan.indices[j] % self.of != self.shard]
+
+        jobs = default_jobs() if self.jobs is None else self.jobs
+        inner = ProcessExecutor(jobs) if jobs > 1 else SerialExecutor()
+        inner_on_result = None
+        if on_result is not None:
+            inner_on_result = lambda j, record: on_result(own[j], record)  # noqa: E731
+        own_results = inner.run(plan.subset(own), inner_on_result)
+
+        results: dict[int, object] = dict(zip(own, own_results))
+        waiting = list(foreign)
+        deadline = time.monotonic() + self.timeout
+        while waiting:
+            still_missing = []
+            for j in waiting:
+                record = plan.store.get(plan.keys[j])
+                if record is MISSING:
+                    still_missing.append(j)
+                else:
+                    results[j] = record
+            waiting = still_missing
+            if not waiting:
+                break
+            if time.monotonic() > deadline:
+                missing = [plan.indices[j] for j in waiting]
+                raise TimeoutError(
+                    f"shard {self.shard}/{self.of} finished its own tasks "
+                    f"but records for grid indices {missing[:8]}"
+                    f"{'...' if len(missing) > 8 else ''} never appeared "
+                    f"in the store — are the sibling shards running?")
+            time.sleep(self.poll_interval)
+        return [results[j] for j in range(len(plan.tasks))]
+
+
+def parse_shard(value) -> tuple[int, int] | None:
+    """Normalise and validate a shard spec: ``None``, ``(i, k)`` or an
+    ``"i/k"`` string with ``0 <= i < k``."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            i_text, k_text = value.split("/")
+            i, k = int(i_text), int(k_text)
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/k' (e.g. '0/4'), got {value!r}"
+            ) from None
+    else:
+        i, k = value
+        i, k = int(i), int(k)
+    if k < 1 or not 0 <= i < k:
+        raise ValueError(
+            f"shard must satisfy 0 <= i < k, got {i}/{k}")
+    return i, k
+
+
+def get_executor(executor=None, *, jobs: int | None = 1, shard=None):
+    """Resolve ``executor=``/``jobs=``/``shard=`` into an executor object.
+
+    ``executor`` may be an instance (returned as-is), a name from
+    :data:`EXECUTORS`, or ``None`` — in which case ``shard`` selects the
+    sharded executor and otherwise ``jobs`` picks serial (``<= 1``) or
+    process execution, preserving the historical ``jobs=`` semantics.
+    """
+    shard = parse_shard(shard)
+    if isinstance(executor, (SerialExecutor, ProcessExecutor,
+                             ShardedExecutor)):
+        if shard is not None and not isinstance(executor, ShardedExecutor):
+            raise ValueError(
+                f"shard={shard} requires the sharded executor, "
+                f"got {type(executor).__name__}")
+        if shard is not None and shard != (executor.shard, executor.of):
+            raise ValueError(
+                f"shard={shard} disagrees with the supplied "
+                f"ShardedExecutor({executor.shard}, {executor.of}); "
+                f"pass one or the other")
+        return executor
+    if shard is not None and executor not in (None, "sharded"):
+        # Silently dropping the shard here would make every invocation
+        # run the full grid — k-fold duplicated work instead of a
+        # cooperative split.
+        raise ValueError(
+            f"shard={shard} requires executor='sharded' (or None), "
+            f"got {executor!r}")
+    if executor is None:
+        executor = "sharded" if shard is not None else (
+            "process" if (jobs is None or jobs > 1) else "serial")
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessExecutor(jobs)
+    if executor == "sharded":
+        if shard is None:
+            raise ValueError("executor='sharded' requires shard=(i, k)")
+        return ShardedExecutor(shard[0], shard[1], jobs=jobs)
+    raise ValueError(
+        f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+
+
+# ----------------------------------------------------------------------
+# The front door
+# ----------------------------------------------------------------------
 
 def execute(
     func: Callable,
@@ -75,14 +509,17 @@ def execute(
     warmup: Sequence[tuple[str, str, int]] = (),
     store=None,
     resume: bool = True,
+    executor=None,
+    shard=None,
+    context: object = None,
+    shared: dict | None = None,
 ) -> list:
-    """Run ``func(**task)`` for every task, in task-list order.
+    """Compile ``func(**task) for task in tasks`` into a plan and run it.
 
     ``func`` must be a module-level callable (workers import it by
     qualified name).  ``jobs=None`` uses :func:`default_jobs`; with
-    ``jobs <= 1`` or fewer than two tasks everything runs inline in
-    this process and ``warmup`` is ignored (the caller's own cache
-    already does the work).
+    ``jobs <= 1`` (and no explicit executor/shard) everything runs
+    inline in this process.
 
     Parameters
     ----------
@@ -93,6 +530,15 @@ def execute(
         executed; every fresh result is persisted before returning.
         With ``resume=False`` nothing is read — every task recomputes
         and overwrites its entry (the ``--no-cache`` semantics).
+    executor, shard:
+        Pluggable execution strategy: an executor instance, a name from
+        :data:`EXECUTORS`, or ``shard=(i, k)`` / ``"i/k"`` for
+        store-coordinated sharding (requires ``store``).  The default
+        picks serial or process execution from ``jobs``.
+    context, shared:
+        Plan context shipped once per worker (see :func:`plan_context`)
+        and large read-only arrays published through the data plane and
+        merged into it by name.
 
     Returns
     -------
@@ -103,8 +549,29 @@ def execute(
     """
     tasks = list(tasks)
     store = open_store(store)
+    exec_obj = get_executor(executor, jobs=jobs, shard=shard)
+    use_plane = exec_obj.wants_plane and dataplane_enabled()
+    if isinstance(exec_obj, ShardedExecutor) and not resume:
+        # Foreign-shard records are read back from the store, and a
+        # reader cannot tell a sibling's fresh overwrite from a stale
+        # pre-existing record — the no-cache contract ("nothing is
+        # read") is unenforceable across invocations.
+        raise ValueError(
+            "sharded execution requires resume=True: the store is the "
+            "coordination channel; to force recomputation, point the "
+            "shards at a fresh store directory instead")
+
     if store is None:
-        return _run_pool(func, tasks, jobs, warmup)
+        if isinstance(exec_obj, ShardedExecutor):
+            raise ValueError("sharded execution requires store=")
+        plane = DataPlane() if use_plane and (warmup or shared) else None
+        try:
+            plan = compile_plan(func, tasks, warmup=warmup, context=context,
+                                shared=shared, plane=plane)
+            return exec_obj.run(plan)
+        finally:
+            if plane is not None:
+                plane.unlink()
 
     keys = [store.key(func, task) for task in tasks]
     results: dict[int, object] = {}
@@ -116,65 +583,86 @@ def execute(
         else:
             results[index] = cached
 
-    # Workers only need the test sets of tasks that actually run; on a
-    # nearly-warm store the unfiltered warmup would regenerate every
-    # grid function's test sample in every worker for nothing.
+    # Workers only need the test sets of tasks that actually run here:
+    # on a nearly-warm store the unfiltered warmup would materialize
+    # every grid function's test sample for nothing, and a sharded
+    # invocation executes only its own partition — the k cooperating
+    # invocations must not each generate and publish the whole grid's
+    # test data.
     if warmup and pending:
+        executing = pending
+        if isinstance(exec_obj, ShardedExecutor):
+            executing = [i for i in pending
+                         if i % exec_obj.of == exec_obj.shard]
         needed = {(task.get("function"), task.get("variant", "continuous"),
                    task.get("test_size"))
-                  for task in (tasks[i] for i in pending)}
+                  for task in (tasks[i] for i in executing)}
         warmup = [spec for spec in warmup if tuple(spec) in needed]
 
-    # Persist each record the moment its task finishes (completion
-    # order), so an interrupted grid loses at most the in-flight tasks
-    # and the next run resumes from everything that completed.
-    fresh = _run_pool(
-        func, [tasks[i] for i in pending], jobs, warmup,
-        on_result=lambda j, record: store.put(keys[pending[j]], record),
-    )
+    plane = DataPlane() if use_plane and pending and (warmup or shared) \
+        else None
+    try:
+        plan = compile_plan(
+            func, [tasks[i] for i in pending],
+            indices=pending,
+            keys=[keys[i] for i in pending],
+            warmup=warmup, context=context, shared=shared,
+            store=store, plane=plane,
+        )
+        # Persist each record the moment its task finishes (completion
+        # order), so an interrupted grid loses at most the in-flight
+        # tasks and the next run — or a sibling shard — resumes from
+        # everything that completed.
+        fresh = exec_obj.run(
+            plan, on_result=lambda j, record: store.put(plan.keys[j], record))
+    finally:
+        if plane is not None:
+            plane.unlink()
     for index, record in zip(pending, fresh):
         results[index] = record
     return [results[index] for index in range(len(tasks))]
 
 
-def _run_pool(
-    func: Callable,
-    tasks: Sequence[dict],
-    jobs: int | None,
-    warmup: Sequence[tuple[str, str, int]],
-    on_result: Callable[[int, object], None] | None = None,
+# ----------------------------------------------------------------------
+# Row-chunked fan-out (the compute data parallelism of the metamodels)
+# ----------------------------------------------------------------------
+
+def _chunk_call(worker: Callable, start: int, stop: int):
+    """One chunk of a :func:`run_chunked` fan-out."""
+    return worker(plan_context(), start, stop)
+
+
+def run_chunked(
+    worker: Callable,
+    n_rows: int,
+    *,
+    jobs: int | None = 1,
+    chunk_rows: int | None = None,
+    context: dict | None = None,
+    shared: dict | None = None,
+    executor=None,
 ) -> list:
-    """The storeless core: serial loop or process-pool fan-out.
+    """Fan row chunks of ``[0, n_rows)`` out over the executor layer.
 
-    ``on_result(index, record)`` fires once per task as soon as its
-    result is available — in task order serially, in completion order
-    under the pool — and before the full list is returned.
+    ``worker(context, start, stop)`` must be a module-level callable
+    returning a picklable per-chunk result; ``context`` is shipped once
+    per worker and ``shared`` arrays are published through the data
+    plane, so each chunk task pickles only its two integers.  Results
+    come back in chunk order — for any row-wise computation their
+    concatenation is bit-identical to the single-chunk call, whatever
+    ``jobs``/``chunk_rows`` say (pinned by the chunked-prediction
+    equivalence tests).
+
+    ``chunk_rows=None`` gives every worker one contiguous chunk.
     """
-    if jobs is None:
-        jobs = default_jobs()
-    if jobs <= 1 or len(tasks) <= 1:
-        results = []
-        for index, task in enumerate(tasks):
-            record = func(**task)
-            if on_result is not None:
-                on_result(index, record)
-            results.append(record)
-        return results
-
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks)),
-        initializer=_init_worker,
-        initargs=(tuple(warmup),),
-    ) as pool:
-        futures = [pool.submit(func, **task) for task in tasks]
-        try:
-            if on_result is not None:
-                index_of = {future: i for i, future in enumerate(futures)}
-                for future in as_completed(futures):
-                    on_result(index_of[future], future.result())
-            return [future.result() for future in futures]
-        except BaseException:
-            # Fail fast: don't let a long grid grind to completion
-            # behind an already-doomed run.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+    if n_rows <= 0:
+        return []
+    effective = default_jobs() if jobs is None else max(jobs, 1)
+    if chunk_rows is None:
+        chunk_rows = -(-n_rows // effective)
+    chunk_rows = max(int(chunk_rows), 1)
+    tasks = [dict(worker=worker, start=start,
+                  stop=min(start + chunk_rows, n_rows))
+             for start in range(0, n_rows, chunk_rows)]
+    return execute(_chunk_call, tasks, jobs, context=context, shared=shared,
+                   executor=executor)

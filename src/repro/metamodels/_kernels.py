@@ -783,13 +783,23 @@ class StackedEnsemble:
     # ------------------------------------------------------------------
     def leaf_value_sum(self, x: np.ndarray, *, scale: float | None = None,
                        init: float = 0.0,
-                       chunk: int = _PREDICT_ROW_CHUNK) -> np.ndarray:
+                       chunk: int = _PREDICT_ROW_CHUNK,
+                       jobs: int | None = 1,
+                       chunk_rows: int | None = None) -> np.ndarray:
         """``init + sum_t scale * value_t(row)`` for every row of ``x``.
 
         The per-tree accumulation runs in tree order with the same
         elementwise operations as the reference per-tree loops
         (``out += tree.predict(x)`` / ``out += lr * tree.predict(x)``),
         so results are bit-identical to them.
+
+        With ``jobs`` > 1 (or None for all CPUs) contiguous row chunks
+        of ``chunk_rows`` fan out over worker processes through
+        :func:`repro.experiments.parallel.run_chunked`: the query rank
+        matrix is published once through the shared-memory data plane
+        and every worker walks its rows with this very code path, so
+        the concatenated result is bit-identical to the single-process
+        call for every ``jobs``/``chunk_rows`` choice.
         """
         x = np.ascontiguousarray(x, dtype=float)
         n = len(x)
@@ -798,6 +808,22 @@ class StackedEnsemble:
                 f"x must be 2-D with >= {self.n_features} columns, "
                 f"got shape {x.shape}")
         ranks = self._rank_queries(x)
+        if (jobs is None or jobs > 1) and n > 1:
+            from repro.experiments.parallel import run_chunked
+
+            parts = run_chunked(
+                _stacked_chunk, n, jobs=jobs, chunk_rows=chunk_rows,
+                context={"ensemble": self, "scale": scale, "init": init,
+                         "chunk": chunk},
+                shared={"ranks": ranks},
+            )
+            return np.concatenate(parts)
+        return self._sum_ranked(ranks, scale=scale, init=init, chunk=chunk)
+
+    def _sum_ranked(self, ranks: np.ndarray, *, scale: float | None,
+                    init: float, chunk: int = _PREDICT_ROW_CHUNK) -> np.ndarray:
+        """The walk itself, over precomputed query ranks (row-wise)."""
+        n = len(ranks)
         m = ranks.shape[1]
         T = self.n_trees
         out = np.full(n, init)
@@ -881,3 +907,16 @@ class StackedEnsemble:
                 vbuf[out_idx] = np.take(value, node)
             vals[tb] = vbuf.reshape(nb, c)
         return vals
+
+
+def _stacked_chunk(context, start: int, stop: int) -> np.ndarray:
+    """One row chunk of a fanned-out :meth:`StackedEnsemble.leaf_value_sum`.
+
+    The ensemble arrives once per worker through the plan context and
+    the full query-rank matrix is a zero-copy shared-memory map; each
+    chunk walks its row slice with the exact single-process code.
+    """
+    ensemble: StackedEnsemble = context["ensemble"]
+    ranks = context["ranks"][start:stop]
+    return ensemble._sum_ranked(ranks, scale=context["scale"],
+                                init=context["init"], chunk=context["chunk"])

@@ -40,7 +40,10 @@ class GradientBoostingModel:
     ``min_child_weight`` (hessian floor per leaf).  ``engine`` selects
     the tree-growing and prediction kernels (``"vectorized"`` /
     ``"reference"``); fitted models and predictions are bit-identical
-    between the two.
+    between the two.  ``jobs``/``chunk_rows`` fan the stacked
+    prediction walk out over worker processes against shared-memory
+    query ranks — a pure throughput knob, bit-identical at every
+    setting and irrelevant to fitting.
     """
 
     def __init__(
@@ -54,6 +57,8 @@ class GradientBoostingModel:
         min_child_weight: float = 1.0,
         seed: int = 0,
         engine: str = "vectorized",
+        jobs: int | None = 1,
+        chunk_rows: int | None = None,
     ) -> None:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
@@ -74,6 +79,8 @@ class GradientBoostingModel:
         self.min_child_weight = min_child_weight
         self.seed = seed
         self.engine = engine
+        self.jobs = jobs
+        self.chunk_rows = chunk_rows
         self.trees_: list[tuple[DecisionTreeRegressor, np.ndarray]] = []
         self.base_score_: float = 0.0
         self._stacked: StackedEnsemble | None = None
@@ -142,18 +149,23 @@ class GradientBoostingModel:
             self.trees_.append((tree, cols))
         return self
 
+    def _ensure_stacked(self) -> StackedEnsemble | None:
+        """Build (once) the stacked prediction tables of a fitted model."""
+        if self.engine == "vectorized" and self.trees_ and self._stacked is None:
+            self._stacked = StackedEnsemble(
+                [tree for tree, _ in self.trees_],
+                columns=[cols for _, cols in self.trees_])
+        return self._stacked
+
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         """Raw additive score (log-odds scale)."""
         if not self.trees_:
             raise RuntimeError("model is not fitted; call fit() first")
         x = np.asarray(x, dtype=float)
         if self.engine == "vectorized":
-            if self._stacked is None:
-                self._stacked = StackedEnsemble(
-                    [tree for tree, _ in self.trees_],
-                    columns=[cols for _, cols in self.trees_])
-            return self._stacked.leaf_value_sum(
-                x, scale=self.learning_rate, init=self.base_score_)
+            return self._ensure_stacked().leaf_value_sum(
+                x, scale=self.learning_rate, init=self.base_score_,
+                jobs=self.jobs, chunk_rows=self.chunk_rows)
         raw = np.full(len(x), self.base_score_)
         for tree, cols in self.trees_:
             raw += self.learning_rate * tree.predict(x[:, cols])

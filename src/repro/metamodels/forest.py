@@ -44,6 +44,14 @@ class RandomForestModel:
         ``"vectorized"`` (block tree growth + stacked prediction,
         default) or ``"reference"`` (per-tree loops); fitted trees and
         predictions are bit-identical between the two.
+    jobs:
+        Worker processes for prediction (None = all CPUs, default 1):
+        the stacked walk fans contiguous row chunks out over the
+        executor layer against shared-memory query ranks.  Predictions
+        are bit-identical for every ``jobs``/``chunk_rows`` setting, so
+        this is purely a throughput knob (it never affects fits).
+    chunk_rows:
+        Rows per fan-out chunk (default: one chunk per worker).
     """
 
     def __init__(
@@ -54,6 +62,8 @@ class RandomForestModel:
         max_depth: int | None = None,
         seed: int = 0,
         engine: str = "vectorized",
+        jobs: int | None = 1,
+        chunk_rows: int | None = None,
     ) -> None:
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1, got {n_trees}")
@@ -65,6 +75,8 @@ class RandomForestModel:
         self.max_depth = max_depth
         self.seed = seed
         self.engine = engine
+        self.jobs = jobs
+        self.chunk_rows = chunk_rows
         self.trees_: list[DecisionTreeRegressor] = []
         self.n_features_: int | None = None
         self._stacked: StackedEnsemble | None = None
@@ -120,15 +132,20 @@ class RandomForestModel:
                 self.trees_.append(tree)
         return self
 
+    def _ensure_stacked(self) -> StackedEnsemble | None:
+        """Build (once) the stacked prediction tables of a fitted forest."""
+        if self.engine == "vectorized" and self.trees_ and self._stacked is None:
+            self._stacked = StackedEnsemble(self.trees_)
+        return self._stacked
+
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Mean leaf response across trees, an estimate of ``P(y=1|x)``."""
         if not self.trees_:
             raise RuntimeError("forest is not fitted; call fit() first")
         x = np.asarray(x, dtype=float)
         if self.engine == "vectorized":
-            if self._stacked is None:
-                self._stacked = StackedEnsemble(self.trees_)
-            total = self._stacked.leaf_value_sum(x)
+            total = self._ensure_stacked().leaf_value_sum(
+                x, jobs=self.jobs, chunk_rows=self.chunk_rows)
         else:
             total = np.zeros(len(x))
             for tree in self.trees_:

@@ -69,6 +69,28 @@ def cross_val_accuracy(
     return correct / total
 
 
+def _cv_cell(candidate: dict, fold: int, *, kind: str, engine: str | None,
+             n_splits: int, seed: int) -> tuple[int, int]:
+    """One (candidate, fold) cell of the tuning grid: (correct, total).
+
+    The dataset arrives through the execution-plan context (zero-copy
+    shared memory under the process executor) and the fold split is
+    rebuilt from its seed, so a worker reaches the exact same train and
+    test rows as the serial loop; the integer count pair makes the
+    parallel accuracy aggregation bit-identical to the serial sum.
+    """
+    from repro.experiments.parallel import plan_context
+
+    context = plan_context()
+    x, y = context["x"], context["y"]
+    splits = list(KFold(n_splits, seed).split(len(x)))
+    train, test = splits[fold]
+    model = make_metamodel(kind, engine=engine, **candidate).fit(
+        x[train], y[train])
+    predictions = model.predict(x[test])
+    return int((predictions == y[test]).sum()), len(test)
+
+
 # ----------------------------------------------------------------------
 # Default construction and tuning grids (caret-flavoured)
 # ----------------------------------------------------------------------
@@ -135,6 +157,7 @@ def tune_metamodel(
     n_splits: int = 5,
     seed: int = 0,
     engine: str | None = None,
+    jobs: int | None = 1,
 ) -> Metamodel:
     """Grid-search a metamodel with CV accuracy and refit on all data.
 
@@ -144,6 +167,13 @@ def tune_metamodel(
     is threaded through to every candidate fit (the grid search is where
     the metamodel layer burns most of its time: grid x k folds full
     ensemble fits per call).
+
+    With ``jobs`` > 1 (or None for all CPUs) the independent
+    (candidate, fold) cells fan out over the executor layer: the
+    dataset is published once through the shared-memory data plane and
+    each cell returns its integer (correct, total) counts, so the
+    per-candidate accuracies — and hence the chosen configuration and
+    the refit model — are bit-identical to the serial search.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y)
@@ -152,13 +182,34 @@ def tune_metamodel(
         params = candidates[0] if candidates else {}
         return make_metamodel(kind, engine=engine, **params).fit(x, y)
 
+    if jobs is None or jobs > 1:
+        from repro.experiments.parallel import execute
+
+        tasks = [
+            dict(candidate=params, fold=fold, kind=kind, engine=engine,
+                 n_splits=n_splits, seed=seed)
+            for params in candidates
+            for fold in range(n_splits)
+        ]
+        cells = execute(_cv_cell, tasks, jobs, shared={"x": x, "y": y})
+        accuracies = []
+        for index in range(len(candidates)):
+            counts = cells[index * n_splits:(index + 1) * n_splits]
+            correct = sum(c for c, _ in counts)
+            total = sum(t for _, t in counts)
+            accuracies.append(correct / total)
+    else:
+        accuracies = [
+            cross_val_accuracy(
+                lambda p=params: make_metamodel(kind, engine=engine, **p),
+                x, y, n_splits=n_splits, seed=seed,
+            )
+            for params in candidates
+        ]
+
     best_params: dict = {}
     best_accuracy = -1.0
-    for params in candidates:
-        accuracy = cross_val_accuracy(
-            lambda p=params: make_metamodel(kind, engine=engine, **p), x, y,
-            n_splits=n_splits, seed=seed,
-        )
+    for params, accuracy in zip(candidates, accuracies):
         if accuracy > best_accuracy:
             best_accuracy = accuracy
             best_params = params

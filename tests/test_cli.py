@@ -48,6 +48,61 @@ class TestParser:
                 ["compare", "--function", "morris", "--store", "d",
                  "--resume", "--no-cache"])
 
+    def test_engine_and_jobs_on_every_run_subcommand(self):
+        one = build_parser().parse_args(
+            ["discover", "--function", "morris", "--engine", "reference",
+             "--jobs", "4"])
+        assert one.engine == "reference"
+        assert one.jobs == 4
+        many = build_parser().parse_args(
+            ["compare", "--function", "morris", "--engine", "reference",
+             "--jobs", "4"])
+        assert many.engine == "reference"
+        assert many.jobs == 4
+
+    def test_engine_defaults_to_vectorized(self):
+        assert build_parser().parse_args(
+            ["discover", "--function", "m"]).engine == "vectorized"
+        assert build_parser().parse_args(
+            ["compare", "--function", "m"]).engine == "vectorized"
+
+    def test_shard_and_executor_parse(self):
+        args = build_parser().parse_args(
+            ["compare", "--function", "m", "--store", "d",
+             "--shard", "1/4", "--executor", "sharded"])
+        assert args.shard == "1/4"
+        assert args.executor == "sharded"
+
+    def test_shard_requires_store(self, capsys):
+        code = main(["compare", "--function", "morris", "--shard", "0/2"])
+        assert code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_shard_conflicts_with_other_executors(self, capsys):
+        code = main(["compare", "--function", "morris", "--store", "d",
+                     "--shard", "0/2", "--executor", "process"])
+        assert code == 2
+        assert "sharded executor" in capsys.readouterr().err
+
+    def test_sharded_executor_needs_shard(self, capsys):
+        code = main(["compare", "--function", "morris", "--store", "d",
+                     "--executor", "sharded"])
+        assert code == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_shard_conflicts_with_no_cache(self, capsys):
+        code = main(["compare", "--function", "morris", "--store", "d",
+                     "--shard", "0/2", "--no-cache"])
+        assert code == 2
+        assert "fresh --store" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["nope", "5/2", "0/0"])
+    def test_malformed_shard_exits_cleanly(self, capsys, bad):
+        code = main(["compare", "--function", "morris", "--store", "d",
+                     "--shard", bad])
+        assert code == 2
+        assert "shard" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list_models_output(self, capsys):

@@ -1,0 +1,117 @@
+"""Tests for the shared-memory data plane.
+
+The broker must round-trip arrays exactly, address them by content,
+fall back to inline refs when shared memory is disabled, and leave no
+segment behind after ``unlink`` — on clean and failing paths alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dataplane import (
+    ArrayRef,
+    DataPlane,
+    SEGMENT_PREFIX,
+    active_segments,
+    content_key,
+    dataplane_enabled,
+    resolve_refs,
+)
+
+
+class TestContentKey:
+    def test_identical_content_identical_key(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        assert content_key(a) == content_key(a.copy())
+
+    def test_key_covers_values_shape_and_dtype(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        assert content_key(a) != content_key(a + 1)
+        assert content_key(a) != content_key(a.reshape(4, 3))
+        assert content_key(a) != content_key(a.astype(np.float32))
+
+
+class TestDataPlane:
+    def test_roundtrip_and_readonly(self):
+        with DataPlane() as plane:
+            a = np.arange(30, dtype=float).reshape(5, 6)
+            ref = plane.publish(a)
+            out = ref.resolve()
+            np.testing.assert_array_equal(out, a)
+            assert not out.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                out[0, 0] = 1.0
+
+    def test_publish_is_idempotent_per_key(self):
+        with DataPlane() as plane:
+            a = np.arange(8.0)
+            assert plane.publish(a) is plane.publish(a.copy())
+            assert len(plane.segment_names()) <= 1
+
+    def test_ref_is_content_addressed(self):
+        with DataPlane() as plane:
+            a = np.arange(8.0)
+            assert plane.publish(a).key == content_key(a)
+
+    def test_unlink_removes_segments(self):
+        plane = DataPlane()
+        plane.publish(np.arange(100.0))
+        names = plane.segment_names()
+        if dataplane_enabled():
+            assert names and all(n.startswith(SEGMENT_PREFIX) for n in names)
+        plane.unlink()
+        assert plane.segment_names() == []
+        assert not set(names) & set(active_segments())
+        # Idempotent, and a dead plane refuses new work.
+        plane.unlink()
+        with pytest.raises(RuntimeError):
+            plane.publish(np.arange(3.0))
+
+    @pytest.mark.skipif(not dataplane_enabled(), reason="no shared memory")
+    def test_unlinked_segment_name_is_gone(self):
+        from multiprocessing import shared_memory
+
+        plane = DataPlane()
+        ref = plane.publish(np.arange(16.0))
+        plane.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.segment)
+
+    def test_inline_fallback_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REDS_DATAPLANE", "0")
+        with DataPlane() as plane:
+            a = np.arange(6.0).reshape(2, 3)
+            ref = plane.publish(a)
+            assert ref.segment is None
+            np.testing.assert_array_equal(ref.resolve(), a)
+            assert not ref.resolve().flags.writeable
+            assert plane.segment_names() == []
+
+    def test_empty_array_roundtrip(self):
+        with DataPlane() as plane:
+            a = np.empty((0, 4))
+            np.testing.assert_array_equal(plane.publish(a).resolve(), a)
+
+
+class TestResolveRefs:
+    def test_nested_structures(self):
+        with DataPlane() as plane:
+            a = np.arange(4.0)
+            b = np.arange(6.0).reshape(2, 3)
+            obj = {"x": plane.publish(a), "nest": [plane.publish(b), 7],
+                   "pair": (plane.publish(a), "s")}
+            out = resolve_refs(obj)
+            np.testing.assert_array_equal(out["x"], a)
+            np.testing.assert_array_equal(out["nest"][0], b)
+            assert out["nest"][1] == 7
+            assert isinstance(out["pair"], tuple)
+            assert out["pair"][1] == "s"
+
+    def test_passthrough(self):
+        assert resolve_refs(42) == 42
+        assert resolve_refs("abc") == "abc"
+
+    def test_ref_without_segment_or_data_fails(self):
+        ref = ArrayRef(key="k", shape=(2,), dtype="<f8")
+        with pytest.raises(ValueError, match="neither"):
+            ref.resolve()

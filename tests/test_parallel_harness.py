@@ -1,19 +1,24 @@
-"""Determinism tests for the parallel experiment engine.
+"""Determinism tests for the plan/executor experiment engine.
 
 ``run_batch(..., jobs=4)`` must return ``RunRecord``s identical field
 by field (boxes and trajectories included) to the serial run, in the
 same grid order, no matter how the pool schedules the tasks.  Runtime
 is the one legitimate difference: it is wall-clock measured inside
-each run.
+each run.  The same contract holds for every executor — serial,
+process, and store-coordinated shards — and sharded invocations that
+cooperate on one store must never execute a task twice.
 """
 
+import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.experiments import parallel
-from repro.experiments.harness import run_batch, run_third_party
+from repro.experiments.dataplane import active_segments
+from repro.experiments.harness import get_test_data, run_batch, run_third_party
 
 
 def assert_records_identical(serial, parallel_records):
@@ -44,6 +49,18 @@ def _fail_on_one(index: int) -> int:
     if index == 1:
         raise ValueError("boom")
     return index
+
+
+def _touch_and_echo(index: int, outdir: str) -> int:
+    # Records each execution as a unique file, so concurrent sharded
+    # invocations can prove zero duplicated task executions.
+    path = Path(outdir) / f"exec-{index}-{time.monotonic_ns()}"
+    path.write_text("")
+    return index
+
+
+def _context_row(index: int) -> float:
+    return float(parallel.plan_context()["values"][index])
 
 
 class TestExecute:
@@ -107,3 +124,241 @@ class TestRunThirdPartyParallel:
         assert_records_identical(serial, fanned)
         # rep-major, fold-minor ordering with position-derived seeds
         assert [r.seed for r in serial] == [77, 78, 79, 80, 81, 82]
+
+
+class TestExecutionPlan:
+    def test_seeds_and_indices_fixed_at_plan_time(self):
+        tasks = [dict(index=i, seed=100 + i) for i in range(4)]
+        plan = parallel.compile_plan(_delayed_echo, tasks)
+        assert plan.indices == (0, 1, 2, 3)
+        assert [t["seed"] for t in plan.tasks] == [100, 101, 102, 103]
+
+    def test_subset_keeps_grid_identity(self):
+        tasks = [dict(index=i) for i in range(6)]
+        plan = parallel.compile_plan(_delayed_echo, tasks,
+                                     keys=[f"k{i}" for i in range(6)])
+        sub = plan.subset([1, 4])
+        assert sub.indices == (1, 4)
+        assert sub.keys == ("k1", "k4")
+        assert [t["index"] for t in sub.tasks] == [1, 4]
+
+    def test_get_executor_resolution(self):
+        assert isinstance(parallel.get_executor(jobs=1),
+                          parallel.SerialExecutor)
+        assert isinstance(parallel.get_executor(jobs=4),
+                          parallel.ProcessExecutor)
+        assert isinstance(parallel.get_executor(jobs=None),
+                          parallel.ProcessExecutor)
+        sharded = parallel.get_executor(shard="1/3", jobs=1)
+        assert isinstance(sharded, parallel.ShardedExecutor)
+        assert (sharded.shard, sharded.of) == (1, 3)
+        with pytest.raises(ValueError, match="sharded"):
+            parallel.get_executor("sharded")
+        with pytest.raises(ValueError, match="unknown executor"):
+            parallel.get_executor("mystery")
+
+    def test_parse_shard(self):
+        assert parallel.parse_shard(None) is None
+        assert parallel.parse_shard("0/4") == (0, 4)
+        assert parallel.parse_shard((2, 5)) == (2, 5)
+        with pytest.raises(ValueError, match="i/k"):
+            parallel.parse_shard("nope")
+        for bad in ("5/2", "2/2", "-1/2", "0/0"):
+            with pytest.raises(ValueError, match="0 <= i < k"):
+                parallel.parse_shard(bad)
+
+    def test_executor_instance_shard_mismatch_is_an_error(self):
+        executor = parallel.ShardedExecutor(0, 2)
+        assert parallel.get_executor(executor, shard=(0, 2)) is executor
+        with pytest.raises(ValueError, match="disagrees"):
+            parallel.get_executor(executor, shard=(1, 2))
+
+
+class TestExecutors:
+    def test_all_executors_agree(self, tmp_path):
+        tasks = [dict(index=i) for i in range(6)]
+        serial = parallel.execute(_delayed_echo, tasks,
+                                  executor="serial")
+        process = parallel.execute(_delayed_echo, tasks, jobs=3,
+                                   executor="process")
+        sharded = parallel.execute(_delayed_echo, tasks, jobs=1,
+                                   store=str(tmp_path / "s"), shard=(0, 1))
+        assert serial == process == sharded == list(range(6))
+
+    def test_serial_contexts_are_thread_isolated(self):
+        # Two in-process executions with different contexts must not
+        # cross-contaminate when driven from concurrent threads.
+        out: dict[int, list] = {}
+
+        def invoke(which: int) -> None:
+            values = np.full(30, float(which))
+            tasks = [dict(index=i) for i in range(30)]
+            out[which] = parallel.execute(_context_row, tasks,
+                                          executor="serial",
+                                          shared={"values": values})
+
+        threads = [threading.Thread(target=invoke, args=(w,))
+                   for w in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert out[1] == [1.0] * 30
+        assert out[2] == [2.0] * 30
+
+    def test_context_shared_array_reaches_every_executor(self, tmp_path):
+        values = np.linspace(0.0, 1.0, 5)
+        tasks = [dict(index=i) for i in range(5)]
+        for kwargs in (dict(executor="serial"),
+                       dict(jobs=2, executor="process")):
+            out = parallel.execute(_context_row, tasks,
+                                   shared={"values": values}, **kwargs)
+            assert out == list(values)
+
+    def test_sharded_requires_store(self):
+        with pytest.raises(ValueError, match="store"):
+            parallel.execute(_delayed_echo, [dict(index=0)], shard=(0, 2))
+
+    def test_sharded_rejects_no_cache(self, tmp_path):
+        # Foreign records come back from the store, so resume=False
+        # ("nothing is read") cannot be honored across invocations.
+        with pytest.raises(ValueError, match="resume"):
+            parallel.execute(_delayed_echo, [dict(index=0)],
+                             store=str(tmp_path / "s"), shard=(0, 2),
+                             resume=False)
+
+    def test_shard_with_non_sharded_executor_is_an_error(self):
+        # Silently dropping the shard would make every invocation run
+        # the full grid — k-fold duplicated work.
+        with pytest.raises(ValueError, match="sharded"):
+            parallel.get_executor("process", shard=(0, 2))
+        with pytest.raises(ValueError, match="sharded"):
+            parallel.get_executor(parallel.SerialExecutor(), shard=(0, 2))
+
+    def test_sharded_times_out_without_siblings(self, tmp_path):
+        executor = parallel.ShardedExecutor(0, 2, poll_interval=0.01,
+                                            timeout=0.15)
+        tasks = [dict(index=i) for i in range(4)]
+        with pytest.raises(TimeoutError, match="sibling"):
+            parallel.execute(_delayed_echo, tasks, executor=executor,
+                             store=str(tmp_path / "s"))
+
+
+class TestShardedCooperation:
+    def test_concurrent_shards_complete_grid_without_duplicates(self, tmp_path):
+        """Two concurrent --shard i/k invocations against one store must
+        both return the full grid while each task executes exactly once."""
+        outdir = tmp_path / "executions"
+        outdir.mkdir()
+        store_dir = str(tmp_path / "store")
+        tasks = [dict(index=i, outdir=str(outdir)) for i in range(8)]
+
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def invoke(shard: int) -> None:
+            try:
+                results[shard] = parallel.execute(
+                    _touch_and_echo, tasks, jobs=1,
+                    store=store_dir, shard=(shard, 2))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=invoke, args=(shard,))
+                   for shard in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert results[0] == results[1] == list(range(8))
+        executed = sorted(int(p.name.split("-")[1])
+                          for p in outdir.iterdir())
+        assert executed == list(range(8)), \
+            f"duplicated or missing executions: {executed}"
+
+    def test_sequential_shards_also_cooperate(self, tmp_path):
+        outdir = tmp_path / "executions"
+        outdir.mkdir()
+        store_dir = str(tmp_path / "store")
+        tasks = [dict(index=i, outdir=str(outdir)) for i in range(5)]
+        # Shard 1 runs alone: it persists its own records, then times
+        # out waiting for a sibling that never starts...
+        with pytest.raises(TimeoutError, match="sibling"):
+            parallel.execute(_touch_and_echo, tasks, jobs=1,
+                             store=store_dir,
+                             executor=parallel.ShardedExecutor(
+                                 1, 2, poll_interval=0.01, timeout=0.2))
+        # ...after which shard 0 completes the whole grid from its own
+        # part plus shard 1's stored records — still zero duplicates.
+        second = parallel.execute(_touch_and_echo, tasks, jobs=1,
+                                  store=store_dir, shard=(0, 2))
+        assert second == list(range(5))
+        executed = sorted(int(p.name.split("-")[1]) for p in outdir.iterdir())
+        assert executed == list(range(5))
+
+    def test_shard_one_waits_for_shard_zero(self, tmp_path):
+        # The waiting shard must pick records up as they appear, not
+        # only if they pre-exist: start shard 1 first, then shard 0.
+        store_dir = str(tmp_path / "store")
+        tasks = [dict(index=i) for i in range(4)]
+        out: dict[int, list] = {}
+
+        def late_shard_zero():
+            time.sleep(0.15)
+            out[0] = parallel.execute(_delayed_echo, tasks, store=store_dir,
+                                      shard=(0, 2))
+
+        waiter = threading.Thread(
+            target=lambda: out.__setitem__(1, parallel.execute(
+                _delayed_echo, tasks, store=store_dir, shard=(1, 2))))
+        runner = threading.Thread(target=late_shard_zero)
+        waiter.start()
+        runner.start()
+        waiter.join()
+        runner.join()
+        assert out[0] == out[1] == list(range(4))
+
+
+def _shm_dir_entries() -> set:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        return set()
+    return {p.name for p in shm.iterdir() if p.name.startswith("reds-dp-")}
+
+
+class TestDataPlaneTeardown:
+    def test_poisoned_task_unlinks_all_segments(self):
+        """A failing task must not leak shared-memory segments: the
+        executor's finalizer unlinks the plan's data plane on the
+        exceptional path too."""
+        before = _shm_dir_entries()
+        tasks = [dict(index=i) for i in range(6)]
+        with pytest.raises(ValueError, match="boom"):
+            parallel.execute(_fail_on_one, tasks, jobs=2,
+                             warmup=[("ishigami", "continuous", 400)])
+        assert active_segments() == []
+        assert _shm_dir_entries() <= before
+
+    def test_clean_run_unlinks_all_segments(self):
+        before = _shm_dir_entries()
+        tasks = [dict(index=i) for i in range(4)]
+        out = parallel.execute(_delayed_echo, tasks, jobs=2,
+                               warmup=[("ishigami", "continuous", 400)])
+        assert out == list(range(4))
+        assert active_segments() == []
+        assert _shm_dir_entries() <= before
+
+
+class TestTestDataCache:
+    def test_cache_is_bounded(self):
+        """Regression: the per-process test-data cache must stay small —
+        20000-point samples used to accumulate per (function, variant,
+        size) for the life of a worker."""
+        info = get_test_data.cache_info()
+        assert info.maxsize is not None and info.maxsize <= 32
+        for size in range(40, 40 + 2 * info.maxsize):
+            get_test_data("ishigami", "continuous", size)
+        info = get_test_data.cache_info()
+        assert info.currsize <= info.maxsize

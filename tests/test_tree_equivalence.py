@@ -349,6 +349,123 @@ class TestStackedEnsemble:
         assert np.array_equal(stacked.leaf_value_sum(xq), expect)
 
 
+class TestChunkedPrediction:
+    """Multi-process chunked prediction/labeling must be bit-identical
+    to the single-chunk path for every chunk size, worker count and
+    executor — chunking is a pure throughput knob."""
+
+    def _data(self, seed=0, n=250, m=5, n_query=3000):
+        r = np.random.default_rng(seed)
+        x = r.random((n, m))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0.7).astype(float)
+        xq = r.random((n_query, m))
+        return x, y, xq
+
+    @pytest.mark.parametrize("jobs,chunk_rows", [
+        (2, None), (3, 700), (2, 123), (2, 4096)])
+    def test_forest_proba_bit_equal_across_chunkings(self, jobs, chunk_rows):
+        x, y, xq = self._data()
+        base = RandomForestModel(n_trees=15, seed=3).fit(x, y)
+        expect = base.predict_proba(xq)
+        fanned = RandomForestModel(n_trees=15, seed=3, jobs=jobs,
+                                   chunk_rows=chunk_rows).fit(x, y)
+        assert np.array_equal(fanned.predict_proba(xq), expect)
+        assert np.array_equal(fanned.predict(xq), base.predict(xq))
+
+    @pytest.mark.parametrize("jobs,chunk_rows", [(2, None), (3, 511)])
+    def test_boosting_decision_bit_equal_across_chunkings(self, jobs,
+                                                          chunk_rows):
+        x, y, xq = self._data(seed=1)
+        base = GradientBoostingModel(n_rounds=25, seed=3).fit(x, y)
+        expect = base.decision_function(xq)
+        fanned = GradientBoostingModel(n_rounds=25, seed=3, jobs=jobs,
+                                       chunk_rows=chunk_rows).fit(x, y)
+        assert np.array_equal(fanned.decision_function(xq), expect)
+        assert np.array_equal(fanned.predict_proba(xq),
+                              base.predict_proba(xq))
+
+    def test_stacked_leaf_value_sum_jobs_knob(self):
+        x, y, xq = self._data(seed=2)
+        model = RandomForestModel(n_trees=10, seed=0).fit(x, y)
+        stacked = StackedEnsemble(model.trees_)
+        expect = stacked.leaf_value_sum(xq)
+        for jobs, chunk_rows in ((2, None), (3, 999), (2, 100)):
+            got = stacked.leaf_value_sum(xq, jobs=jobs, chunk_rows=chunk_rows)
+            assert np.array_equal(got, expect), (jobs, chunk_rows)
+
+    def test_predict_chunked_generic_labeling(self):
+        from repro.metamodels.base import predict_chunked
+
+        x, y, xq = self._data(seed=4)
+        for model in (RandomForestModel(n_trees=10, seed=1).fit(x, y),
+                      GradientBoostingModel(n_rounds=20, seed=1).fit(x, y)):
+            hard = model.predict(xq)
+            soft = model.predict_proba(xq)
+            for jobs, chunk_rows in ((1, None), (2, None), (3, 777)):
+                assert np.array_equal(
+                    predict_chunked(model, xq, jobs=jobs,
+                                    chunk_rows=chunk_rows), hard)
+                assert np.array_equal(
+                    predict_chunked(model, xq, soft=True, jobs=jobs,
+                                    chunk_rows=chunk_rows), soft)
+
+    def test_reds_labels_bit_equal_across_jobs(self):
+        from repro.core.reds import reds
+
+        x, y, _ = self._data(seed=5)
+
+        def sd(x_new, y_new):
+            return float(y_new.sum())
+
+        base = reds(x, y, sd, metamodel="boosting", n_new=4000, tune=False,
+                    rng=np.random.default_rng(9), jobs=1)
+        for jobs, chunk_rows in ((2, None), (3, 1234)):
+            fanned = reds(x, y, sd, metamodel="boosting", n_new=4000,
+                          tune=False, rng=np.random.default_rng(9),
+                          jobs=jobs, chunk_rows=chunk_rows)
+            assert np.array_equal(base.x_new, fanned.x_new)
+            assert np.array_equal(base.y_new, fanned.y_new)
+            assert base.sd_output == fanned.sd_output
+
+    def test_reds_soft_labels_bit_equal_across_jobs(self):
+        from repro.core.reds import reds
+
+        x, y, _ = self._data(seed=6)
+
+        def sd(x_new, y_new):
+            return float(y_new.sum())
+
+        base = reds(x, y, sd, metamodel="forest", n_new=3000,
+                    soft_labels=True, tune=False,
+                    rng=np.random.default_rng(11), jobs=1)
+        fanned = reds(x, y, sd, metamodel="forest", n_new=3000,
+                      soft_labels=True, tune=False,
+                      rng=np.random.default_rng(11), jobs=2)
+        assert np.array_equal(base.y_new, fanned.y_new)
+
+    def test_tuning_fanned_folds_pick_identical_model(self):
+        from repro.metamodels.tuning import tune_metamodel
+
+        x, y, xq = self._data(seed=7, n=200)
+        grid = [{"max_depth": 2, "n_rounds": 15},
+                {"max_depth": 3, "n_rounds": 15}]
+        serial = tune_metamodel("boosting", x, y, grid=grid, jobs=1)
+        fanned = tune_metamodel("boosting", x, y, grid=grid, jobs=2)
+        assert serial.max_depth == fanned.max_depth
+        assert serial.n_rounds == fanned.n_rounds
+        assert np.array_equal(serial.predict_proba(xq),
+                              fanned.predict_proba(xq))
+
+    def test_serial_executor_chunking_also_bit_equal(self):
+        """chunk_rows alone (no processes) must not change anything."""
+        x, y, xq = self._data(seed=8)
+        model = RandomForestModel(n_trees=8, seed=2).fit(x, y)
+        stacked = StackedEnsemble(model.trees_)
+        expect = stacked.leaf_value_sum(xq)
+        got = stacked.leaf_value_sum(xq, chunk=100)
+        assert np.array_equal(got, expect)
+
+
 class TestDenseRanks:
     def test_ranks_embed_order_with_ties(self):
         r = np.random.default_rng(0)
