@@ -17,19 +17,20 @@ dwarfs the fixed fan-out overhead.  Boosting labeling (RPx) is measured
 and recorded alongside, but its whole single-core cost is ~0.5 s —
 shallow heap walks — so the fixed overhead caps its observable speedup
 well below the forest's and no floor is asserted there.  Floors are
-only asserted when the machine actually has 4 CPUs (the CI bench-smoke
-runners do); on smaller boxes the sweep still runs and records its
-measurements — a 1-core container cannot physically demonstrate
-multi-core scaling.  Machine-readable results land in
+only asserted when this process can actually *use* 4 CPUs — measured
+with the affinity-aware :func:`repro.experiments.parallel.cpu_budget`,
+not raw ``os.cpu_count()``, so a cgroup/affinity-limited CI runner on
+a big host records ``floor_asserted: false`` truthfully; on smaller
+boxes the sweep still runs and records its measurements — a 1-core
+container cannot physically demonstrate multi-core scaling.  Machine-readable results land in
 ``benchmarks/results/BENCH_label_fanout.json`` and are mirrored to the
 tracked repo-root ``results/``.
 """
 
-import os
-
 import numpy as np
 
 from _common import best_of, emit, emit_json
+from repro.experiments.parallel import cpu_budget
 from repro.metamodels.base import predict_chunked
 from repro.metamodels.boosting import GradientBoostingModel
 from repro.metamodels.forest import RandomForestModel
@@ -78,7 +79,7 @@ def _sweep(model, pool):
 
 def test_label_fanout_speedup(benchmark):
     x, y, pool = _dataset()
-    cpus = os.cpu_count() or 1
+    cpus = cpu_budget()
 
     def run():
         out = {}

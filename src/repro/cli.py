@@ -69,7 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="kernel engine threaded into every grid cell "
                            "(reference = slow exact twin)")
     many.add_argument("--jobs", type=int, default=1,
-                      help="worker processes for the grid (0 = all CPUs)")
+                      help="total worker budget for the whole run "
+                           "(0 = all CPUs): the planner splits it "
+                           "between grid cells and each cell's inner "
+                           "fan-out, so N never means NxN processes")
     many.add_argument("--executor", choices=EXECUTORS, default=None,
                       help="execution strategy (default: serial or "
                            "process, picked from --jobs)")

@@ -19,7 +19,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.reds import Sampler
-from repro.metamodels.base import Metamodel
+from repro.metamodels.base import Metamodel, predict_chunked
 from repro.metamodels.tuning import make_metamodel
 
 __all__ = ["active_reds", "ActiveResult", "STRATEGIES"]
@@ -76,6 +76,8 @@ def active_reds(
     soft_labels: bool = False,
     sampler: Sampler | None = None,
     rng: np.random.Generator | None = None,
+    jobs: int | None = 1,
+    chunk_rows: int | None = None,
 ) -> ActiveResult:
     """REDS with an active simulation loop.
 
@@ -99,6 +101,11 @@ def active_reds(
         ``"random"``) and per-iteration candidate-pool size.
     n_new / soft_labels / sampler:
         Passed to the final REDS labelling step.
+    jobs / chunk_rows:
+        Worker processes (None = all CPUs) for the per-round candidate
+        scoring and the final relabelling, via
+        :func:`repro.metamodels.base.predict_chunked` — bit-identical
+        to the serial loop for every setting.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
@@ -123,7 +130,10 @@ def active_reds(
     while remaining > 0:
         take = min(batch, remaining)
         candidates = draw(candidate_pool, dim, rng)
-        probabilities = np.clip(model.predict_proba(candidates), 0.0, 1.0)
+        probabilities = np.clip(
+            predict_chunked(model, candidates, soft=True,
+                            jobs=jobs, chunk_rows=chunk_rows),
+            0.0, 1.0)
         picked = _select_batch(strategy, probabilities, take, rng)
         history.append(float(np.abs(probabilities[picked] - 0.5).mean()))
 
@@ -137,9 +147,14 @@ def active_reds(
     # Final REDS step: relabel a large sample with the final metamodel.
     x_new = draw(n_new, dim, rng)
     if soft_labels:
-        y_new = np.clip(model.predict_proba(x_new), 0.0, 1.0)
+        y_new = np.clip(
+            predict_chunked(model, x_new, soft=True,
+                            jobs=jobs, chunk_rows=chunk_rows),
+            0.0, 1.0)
     else:
-        y_new = np.asarray(model.predict(x_new), dtype=float)
+        y_new = np.asarray(
+            predict_chunked(model, x_new, jobs=jobs, chunk_rows=chunk_rows),
+            dtype=float)
     sd_output = sd(x_new, y_new)
 
     return ActiveResult(

@@ -195,6 +195,8 @@ def evaluate_boxes(
     x_test: np.ndarray,
     y_test: np.ndarray,
     relevant: tuple[int, ...],
+    *,
+    jobs: int | None = 1,
 ) -> dict:
     """All point and trajectory measures of one discovery result.
 
@@ -207,6 +209,12 @@ def evaluate_boxes(
     relevant:
         Ground-truth relevant input indices of the model, for the
         #irrelevant measure.
+    jobs:
+        Worker processes for the trajectory evaluation over the test
+        sample (None = all CPUs): every box of the peeling trajectory
+        is measured on the full 20000-point test set, the slow part of
+        evaluation for long trajectories.  Bit-identical for every
+        setting; a budgeted grid task passes its worker lease here.
 
     Returns
     -------
@@ -214,7 +222,7 @@ def evaluate_boxes(
         ``pr_auc``, ``precision``, ``recall``, ``wracc``,
         ``n_restricted``, ``n_irrelevant`` and the ``trajectory`` array.
     """
-    trajectory = peeling_trajectory(result.boxes, x_test, y_test)
+    trajectory = peeling_trajectory(result.boxes, x_test, y_test, jobs=jobs)
     prec, rec = precision_recall(result.chosen_box, x_test, y_test)
     return {
         "pr_auc": pr_auc(trajectory),
@@ -279,10 +287,17 @@ def run_single(
     RunRecord
         Every Table 3-5 measure of the run, evaluated on test data.
     """
+    from repro.experiments.parallel import budgeted_jobs
+
     model = get_model(function)
     x, y = make_train_data(model, n, seed, variant)
     x_test, y_test = get_test_data(function, variant, test_size)
 
+    # Inside a budgeted grid worker this is the worker's lease (its
+    # share of the global ``jobs`` budget); outside any executor it is
+    # 1, i.e. the serial behaviour.  Results are jobs-invariant, so the
+    # lease is purely a throughput knob and not part of the store key.
+    inner_jobs = budgeted_jobs()
     result = discover(
         method, x, y,
         seed=seed,
@@ -291,8 +306,10 @@ def run_single(
         sampler=reds_sampler_for(variant),
         tune_metamodel=tune_metamodel,
         engine=engine,
+        jobs=inner_jobs,
     )
-    measures = evaluate_boxes(result, x_test, y_test, model.relevant)
+    measures = evaluate_boxes(result, x_test, y_test, model.relevant,
+                              jobs=inner_jobs)
     return RunRecord(
         function=function,
         method=method,
@@ -395,11 +412,13 @@ def _third_party_single(
     serial loop.
     """
     from repro.data import third_party_dataset
+    from repro.experiments.parallel import budgeted_jobs
     from repro.metamodels.tuning import KFold
 
     x, y = third_party_dataset(dataset)
     splits = list(KFold(n_splits, seed=base_seed + rep).split(len(x)))
     train, test = splits[fold]
+    inner_jobs = budgeted_jobs()
     result = discover(
         method, x[train], y[train],
         seed=base_seed + rep * n_splits + fold,
@@ -407,8 +426,10 @@ def _third_party_single(
         n_new=n_new,
         tune_metamodel=tune_metamodel,
         engine=engine,
+        jobs=inner_jobs,
     )
-    trajectory = peeling_trajectory(result.boxes, x[test], y[test])
+    trajectory = peeling_trajectory(result.boxes, x[test], y[test],
+                                    jobs=inner_jobs)
     prec, rec = precision_recall(result.chosen_box, x[test], y[test])
     return RunRecord(
         function=dataset,

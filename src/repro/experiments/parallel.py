@@ -40,16 +40,33 @@ Three properties keep every executor bit-identical to the serial loop:
 ``jobs <= 1`` falls back to the serial executor (no pool, no pickling),
 which is also the default everywhere.
 
+``jobs`` is a **global worker budget**, not a per-level knob.  The
+planner splits it once across the grid level and the chunked inner
+level: a budgeted executor runs ``min(jobs, tasks)`` grid workers and
+hands each a *lease* of ``jobs // workers`` inner workers, delivered
+through the plan bootstrap and read back by the task via
+:func:`budgeted_jobs`.  A grid task threads its lease into its own
+chunked fan-outs (ensemble labeling, metamodel tuning folds, trajectory
+evaluation), and :class:`ProcessExecutor` additionally clamps any
+nested request to the ambient lease — so ``jobs=8`` means eight
+concurrently-working processes total, never ``8 x 8``.  Leases never
+change results (every jobs/chunk setting is pinned bit-identical); the
+budget is purely a throughput contract.
+
 With ``store=`` (an :class:`~repro.experiments.store.ExperimentStore`
 or a directory path) :func:`execute` becomes resumable: cached records
 are loaded up front, only the missing tasks are dispatched, and every
 fresh record is persisted as soon as it completes.  All store I/O
 happens in the dispatching process, so workers need no locking and a
 crash mid-grid loses at most the in-flight tasks.  The store doubles as
-the coordination substrate of sharded execution: shard ``i`` of ``k``
-executes only the pending tasks whose grid index is congruent to ``i``
-(zero duplicated work by construction) and reads every other record
-from the store as the sibling invocations publish them.
+the coordination substrate of sharded execution: every task execution
+is arbitrated by an atomic store claim marker, shard ``i`` of ``k``
+claims the pending tasks whose grid index is congruent to ``i`` first
+(the modulo partition is the priority order), and a shard that drains
+its own slice **steals** still-unclaimed pending tasks instead of
+idling — zero duplicated executions by construction, work-conserving
+under skew, and every record still read back from the store as the
+sibling invocations publish theirs.
 """
 
 from __future__ import annotations
@@ -75,7 +92,9 @@ __all__ = [
     "SerialExecutor",
     "ShardedExecutor",
     "EXECUTORS",
+    "budgeted_jobs",
     "compile_plan",
+    "cpu_budget",
     "default_jobs",
     "execute",
     "get_executor",
@@ -83,15 +102,35 @@ __all__ = [
     "plan_context",
     "run_chunked",
     "warm_test_cache",
+    "worker_budget",
 ]
 
 #: Names accepted by ``executor=`` arguments and the CLI ``--executor``.
 EXECUTORS = ("serial", "process", "sharded")
 
 
-def default_jobs() -> int:
-    """Worker count for ``jobs=None``: all CPUs, floor 1."""
+def cpu_budget() -> int:
+    """CPUs actually available to this process, floor 1.
+
+    ``os.cpu_count()`` reports the machine; containers, cgroup limits
+    and ``taskset`` restrict processes to fewer cores, which
+    ``os.sched_getaffinity`` reflects.  Sizing pools from the machine
+    count oversubscribes restricted runners, so every layer that needs
+    "how many workers can actually run" — ``jobs=None`` resolution and
+    the benchmark floor gates — shares this helper.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(len(getaffinity(0)), 1)
+        except OSError:  # pragma: no cover - exotic platform failure
+            pass
     return max(os.cpu_count() or 1, 1)
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``: all *available* CPUs, floor 1."""
+    return cpu_budget()
 
 
 def warm_test_cache(specs: Sequence[tuple[str, str, int]]) -> None:
@@ -241,6 +280,13 @@ def compile_plan(
 _PLAN_CONTEXT: object = None
 _CONTEXT_ERROR: BaseException | None = None
 
+#: Inner worker lease of the budgeted plan running in this process:
+#: how many workers the current task may use for its own chunked
+#: fan-outs.  ``None`` means no budgeted plan is active.  Pool workers
+#: receive it at bootstrap (:func:`_init_worker`); in-process budgeted
+#: execution installs it thread-locally on :data:`_TLS`.
+_WORKER_LEASE: int | None = None
+
 #: In-process (serial-executor) context, thread-local: concurrent
 #: in-process executions — e.g. sharded invocations driven from
 #: threads — must not see each other's arrays.
@@ -267,16 +313,64 @@ def plan_context():
     return _PLAN_CONTEXT
 
 
-def _init_worker(warmup, test_refs, context) -> None:
+def worker_budget() -> int | None:
+    """The running task's inner worker lease, ``None`` outside a plan.
+
+    Set by the planner when it splits a global ``jobs`` budget: each
+    grid worker gets ``jobs // workers`` inner workers for its own
+    chunked fan-outs.  Thread-local installs (in-process budgeted
+    execution) shadow the process-wide lease of pool workers.
+    """
+    lease = getattr(_TLS, "lease", None)
+    if lease is not None:
+        return lease
+    return _WORKER_LEASE
+
+
+def budgeted_jobs(default: int = 1) -> int:
+    """The ``jobs=`` a task should pass to its own chunked fan-outs.
+
+    Inside a budgeted plan this is the worker's lease; outside any plan
+    it is ``default`` (1: a directly-called task stays serial, exactly
+    the historical behaviour).  Grid tasks thread this into
+    ``discover``/``predict_chunked``/``tune_metamodel`` instead of a
+    hard-coded ``jobs=1`` — the planner, not the task, decides how the
+    global budget splits across levels.
+    """
+    lease = worker_budget()
+    return default if lease is None else lease
+
+
+def _log_spawn(workers: int, lease: int) -> None:
+    """Append one pool-spawn line to the ``REDS_SPAWN_LOG`` file, if set.
+
+    Instrumentation for the oversubscription tests: each line records
+    ``<pid> <ambient-lease or -> <pool workers> <per-worker lease>``,
+    so a test can assert that a ``jobs=N`` run never puts more than
+    ``N`` workers to work at once, across all nesting levels.
+    """
+    path = os.environ.get("REDS_SPAWN_LOG")
+    if not path:
+        return
+    ambient = worker_budget()
+    line = (f"{os.getpid()} {'-' if ambient is None else ambient} "
+            f"{workers} {lease}\n")
+    with open(path, "a") as handle:
+        handle.write(line)
+
+
+def _init_worker(warmup, test_refs, context, lease: int | None = None) -> None:
     """Worker bootstrap: map shared test data, resolve the plan context.
 
     Test-data failures are deliberately swallowed — a broken spec would
     otherwise crash the worker at startup, while the task that actually
     needs it reports the real error through its future.  Context
     failures are remembered and re-raised by :func:`plan_context` from
-    the task that relies on them.
+    the task that relies on them.  ``lease`` is the worker's share of
+    the plan's global budget, surfaced through :func:`budgeted_jobs`.
     """
-    global _PLAN_CONTEXT, _CONTEXT_ERROR
+    global _PLAN_CONTEXT, _CONTEXT_ERROR, _WORKER_LEASE
+    _WORKER_LEASE = lease
     try:
         if test_refs:
             from repro.experiments.harness import register_test_data
@@ -299,15 +393,29 @@ def _init_worker(warmup, test_refs, context) -> None:
 # ----------------------------------------------------------------------
 
 class SerialExecutor:
-    """The reference loop: run every task inline, in plan order."""
+    """The reference loop: run every task inline, in plan order.
+
+    ``budget`` (optional) installs a worker lease around the loop: the
+    single-task / ``jobs <= 1`` fallback of a budgeted
+    :class:`ProcessExecutor` hands its whole budget to the tasks it
+    runs inline, so ``execute(jobs=8)`` over one task still means
+    eight workers — all of them inside that task's own chunked
+    fan-outs, read back via :func:`budgeted_jobs`.
+    """
 
     #: Serial execution reads parent memory directly — no plane needed.
     wants_plane = False
 
+    def __init__(self, budget: int | None = None) -> None:
+        self.budget = budget
+
     def run(self, plan: ExecutionPlan,
             on_result: Callable[[int, object], None] | None = None) -> list:
         previous = getattr(_TLS, "context", None)
+        previous_lease = getattr(_TLS, "lease", None)
         _TLS.context = resolve_refs(plan.context)
+        if self.budget is not None:
+            _TLS.lease = self.budget
         try:
             results = []
             for index, task in enumerate(plan.tasks):
@@ -318,6 +426,7 @@ class SerialExecutor:
             return results
         finally:
             _TLS.context = previous
+            _TLS.lease = previous_lease
 
 
 class ProcessExecutor:
@@ -328,6 +437,16 @@ class ProcessExecutor:
     unavailable, by warming their own test cache — then pull tasks until
     the plan drains.  Results are collected by plan index, so the
     returned list matches the serial loop regardless of scheduling.
+
+    ``jobs`` is the plan's **total** worker budget.  The pool takes
+    ``min(jobs, tasks)`` workers and every worker receives a lease of
+    ``jobs // workers`` inner workers for its own chunked fan-outs
+    (via :func:`budgeted_jobs`) — a grid wider than its budget leaves
+    lease 1 (pure grid parallelism, the historical behaviour), a
+    narrow grid hands the spare budget to the inner level.  Inside a
+    budgeted worker any nested request is additionally clamped to the
+    ambient lease, so no composition of layers exceeds the top-level
+    budget.
     """
 
     wants_plane = True
@@ -338,12 +457,20 @@ class ProcessExecutor:
     def run(self, plan: ExecutionPlan,
             on_result: Callable[[int, object], None] | None = None) -> list:
         jobs = default_jobs() if self.jobs is None else self.jobs
+        ambient = worker_budget()
+        if ambient is not None:
+            # Already inside a budgeted plan: the lease caps everything
+            # spawned below it, whatever the nested caller asked for.
+            jobs = min(jobs, ambient)
         if jobs <= 1 or len(plan.tasks) <= 1:
-            return SerialExecutor().run(plan, on_result)
+            return SerialExecutor(budget=max(jobs, 1)).run(plan, on_result)
+        workers = min(jobs, len(plan.tasks))
+        lease = max(1, jobs // workers)
+        _log_spawn(workers, lease)
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(plan.tasks)),
+            max_workers=workers,
             initializer=_init_worker,
-            initargs=(plan.warmup, plan.test_refs, plan.context),
+            initargs=(plan.warmup, plan.test_refs, plan.context, lease),
         ) as pool:
             futures = [pool.submit(plan.func, **task) for task in plan.tasks]
             try:
@@ -362,16 +489,22 @@ class ProcessExecutor:
 class ShardedExecutor:
     """Split one plan across independent store-coordinated invocations.
 
-    Shard ``i`` of ``k`` executes exactly the tasks whose **grid index**
-    is congruent to ``i`` modulo ``k`` — a deterministic partition, so
-    concurrent invocations against one store never duplicate a task —
-    and obtains every other record from the store as the sibling
-    invocations persist theirs.  Each invocation therefore returns the
-    full grid, identical to a serial run.
+    Every task execution is arbitrated by an atomic store **claim
+    marker** (:meth:`~repro.experiments.store.ExperimentStore.claim`),
+    so concurrent invocations against one store never duplicate a task.
+    The modulo partition is the *priority order*, not a cage: shard
+    ``i`` of ``k`` claims and executes the tasks whose **grid index**
+    is congruent to ``i`` first, then — instead of idling while a
+    slower sibling still holds pending work — sweeps the remaining
+    unclaimed tasks and steals them, and reads every record it did not
+    produce from the store as the sibling invocations persist theirs.
+    Each invocation therefore returns the full grid, identical to a
+    serial run, and a lone shard completes the whole grid by itself.
 
-    All ``k`` shards must eventually run (concurrently or one after
-    another); ``timeout`` bounds how long this invocation waits for its
-    siblings' records before raising.
+    ``timeout`` bounds how long this invocation waits for tasks that
+    are claimed elsewhere but whose records never appear (a crashed or
+    stalled sibling); the deadline resets whenever any progress is
+    observed, so it only fires on a genuinely dead grid.
     """
 
     wants_plane = True
@@ -388,6 +521,16 @@ class ShardedExecutor:
         self.poll_interval = poll_interval
         self.timeout = timeout
 
+    @property
+    def owner(self) -> str:
+        """This invocation's claim-marker identity.
+
+        Deliberately stable across re-runs of the same shard (no pid):
+        a shard restarted after a crash re-wins its own stale claims
+        and re-executes the tasks it had claimed but never finished.
+        """
+        return f"shard-{self.shard}/{self.of}"
+
     def run(self, plan: ExecutionPlan,
             on_result: Callable[[int, object], None] | None = None) -> list:
         if plan.store is None or plan.keys is None:
@@ -395,22 +538,33 @@ class ShardedExecutor:
                 "sharded execution coordinates through the experiment "
                 "store; pass store= (and keep resume semantics) so every "
                 "shard can read its siblings' records")
-        own = [j for j in range(len(plan.tasks))
-               if plan.indices[j] % self.of == self.shard]
-        foreign = [j for j in range(len(plan.tasks))
-                   if plan.indices[j] % self.of != self.shard]
-
         jobs = default_jobs() if self.jobs is None else self.jobs
         inner = ProcessExecutor(jobs) if jobs > 1 else SerialExecutor()
-        inner_on_result = None
-        if on_result is not None:
-            inner_on_result = lambda j, record: on_result(own[j], record)  # noqa: E731
-        own_results = inner.run(plan.subset(own), inner_on_result)
+        results: dict[int, object] = {}
 
-        results: dict[int, object] = dict(zip(own, own_results))
-        waiting = list(foreign)
+        def run_claimed(selection: list[int]) -> None:
+            wrapped = None
+            if on_result is not None:
+                wrapped = lambda j, record: on_result(selection[j], record)  # noqa: E731
+            for j, record in zip(selection,
+                                 inner.run(plan.subset(selection), wrapped)):
+                results[j] = record
+
+        # Own slice first — the modulo partition stays the priority
+        # order; claims only arbitrate against siblings that already
+        # stole into it.
+        own = [j for j in range(len(plan.tasks))
+               if plan.indices[j] % self.of == self.shard]
+        run_claimed([j for j in own
+                     if plan.store.claim(plan.keys[j], self.owner)])
+
+        # Claim-then-poll: everything still missing is either being
+        # executed by a sibling (its record will appear) or unclaimed
+        # pending work this shard steals instead of idling.
+        waiting = [j for j in range(len(plan.tasks)) if j not in results]
         deadline = time.monotonic() + self.timeout
         while waiting:
+            progress = False
             still_missing = []
             for j in waiting:
                 record = plan.store.get(plan.keys[j])
@@ -418,17 +572,32 @@ class ShardedExecutor:
                     still_missing.append(j)
                 else:
                     results[j] = record
+                    progress = True
             waiting = still_missing
             if not waiting:
                 break
-            if time.monotonic() > deadline:
+            stolen = [j for j in waiting
+                      if plan.store.claim(plan.keys[j], self.owner)]
+            if stolen:
+                run_claimed(stolen)
+                waiting = [j for j in waiting if j not in results]
+                progress = True
+            if not waiting:
+                break
+            if progress:
+                deadline = time.monotonic() + self.timeout
+            elif time.monotonic() > deadline:
                 missing = [plan.indices[j] for j in waiting]
                 raise TimeoutError(
-                    f"shard {self.shard}/{self.of} finished its own tasks "
-                    f"but records for grid indices {missing[:8]}"
+                    f"shard {self.shard}/{self.of} ran out of claimable "
+                    f"work, but records for grid indices {missing[:8]}"
                     f"{'...' if len(missing) > 8 else ''} never appeared "
-                    f"in the store — are the sibling shards running?")
-            time.sleep(self.poll_interval)
+                    f"in the store — those tasks are claimed by sibling "
+                    f"shards that have stopped publishing (crashed "
+                    f"sibling?); delete the store's claims/ directory to "
+                    f"release them and re-run")
+            else:
+                time.sleep(self.poll_interval)
         return [results[j] for j in range(len(plan.tasks))]
 
 
@@ -586,9 +755,12 @@ def execute(
     # Workers only need the test sets of tasks that actually run here:
     # on a nearly-warm store the unfiltered warmup would materialize
     # every grid function's test sample for nothing, and a sharded
-    # invocation executes only its own partition — the k cooperating
-    # invocations must not each generate and publish the whole grid's
-    # test data.
+    # invocation normally executes only its own partition — the k
+    # cooperating invocations must not each generate and publish the
+    # whole grid's test data.  A shard that *steals* foreign tasks may
+    # need test sets beyond this filter; get_test_data regenerates them
+    # on demand, trading a one-off cost on the stolen path for a lean
+    # warmup on the common one.
     if warmup and pending:
         executing = pending
         if isinstance(exec_obj, ShardedExecutor):
@@ -658,6 +830,12 @@ def run_chunked(
     if n_rows <= 0:
         return []
     effective = default_jobs() if jobs is None else max(jobs, 1)
+    ambient = worker_budget()
+    if ambient is not None:
+        # Chunk for the workers that will actually run: inside a
+        # budgeted plan the executor clamps the pool to the lease, so
+        # cutting more chunks than that only adds dispatch overhead.
+        effective = min(effective, max(ambient, 1))
     if chunk_rows is None:
         chunk_rows = -(-n_rows // effective)
     chunk_rows = max(int(chunk_rows), 1)

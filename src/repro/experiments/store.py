@@ -29,6 +29,12 @@ experiment database:
   readers never observe a half-written record and concurrent writers of
   the same key (e.g. two ``jobs=N`` runs sharing a store) are harmless
   last-writer-wins with identical content.
+* **Claim markers.**  Work-stealing sharded execution arbitrates "who
+  runs this task" through ``O_CREAT | O_EXCL`` claim files under
+  ``claims/`` (:meth:`ExperimentStore.claim`): exactly one invocation
+  wins each key, which is what makes stealing duplicate-free.  Claims
+  are bookkeeping, not results — deleting the directory only releases
+  ownership.
 
 A warm store must be invisible in the results: the records a store-backed
 run returns are *identical*, field by field (runtime included, because
@@ -291,6 +297,55 @@ class ExperimentStore:
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    # Claim markers (sharded work stealing)
+    # ------------------------------------------------------------------
+    def claim_path(self, key: str) -> Path:
+        """Where a key's claim marker lives (whether or not it exists).
+
+        Claims sit under ``claims/`` beside the record tree, so record
+        iteration (:meth:`keys`, ``len``) never sees them.
+        """
+        return self.root / "claims" / key[:2] / f"{key}.claim"
+
+    def claim(self, key: str, owner: str) -> bool:
+        """Atomically claim ``key`` for execution by ``owner``.
+
+        First-writer-wins through ``O_CREAT | O_EXCL``: for any key,
+        exactly one owner ever creates the marker — the zero-duplicated
+        -execution guarantee of work-stealing sharded runs rests on
+        this.  A claim already held by the *same* owner is granted
+        again, so a shard restarted after a crash re-wins its own stale
+        claims and re-executes the tasks it never finished.  Claims
+        carry no result: the record stored under the key remains the
+        only source of truth, and deleting ``claims/`` merely releases
+        ownership.
+
+        Returns
+        -------
+        bool
+            True iff ``owner`` now holds the claim and should execute
+            the task.
+        """
+        path = self.claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return self.claim_owner(key) == owner
+        try:
+            os.write(fd, owner.encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def claim_owner(self, key: str) -> str | None:
+        """Who claimed ``key`` — ``None`` if unclaimed (or mid-write)."""
+        try:
+            return self.claim_path(key).read_text() or None
+        except OSError:
+            return None
 
     def keys(self) -> Iterator[str]:
         """All stored keys (order unspecified)."""

@@ -147,6 +147,39 @@ def grow_tree(
 _FOREST_TREE_BLOCK = 16
 
 
+def _forest_chunk(context, start: int, stop: int) -> list:
+    """Trees ``[start, stop)`` of a fanned-out :func:`grow_forest`.
+
+    The parent drew every bootstrap and spawned every per-tree
+    generator before chunking, so this range grows exactly the trees
+    the serial loop grows at the same positions — whatever the chunk
+    boundaries, and whatever block the range sub-divides into.
+    """
+    x = context["x"]
+    y = context["y"]
+    boot = context["boot"]
+    ranks = context["ranks"]
+    rngs = context["rngs"]
+    block = context["block"]
+    n_samp = context["n_samp"]
+    results = []
+    for b in range(start, stop, block):
+        hi = min(b + block, stop)
+        # Rows of consecutive bootstrap draws, stacked tree-major —
+        # identical to concatenating the per-tree index vectors.
+        idx = boot[b:hi].reshape(-1)
+        results.extend(_grow_block(
+            x[idx], y[idx], np.ones(idx.size), ranks[idx],
+            n_trees=hi - b, n_samp=n_samp,
+            max_depth=context["max_depth"],
+            min_samples_leaf=context["min_samples_leaf"],
+            min_child_weight=0.0,
+            max_features=context["max_features"],
+            rngs=list(rngs[b:hi]),
+        ))
+    return results
+
+
 def grow_forest(
     x: np.ndarray,
     y: np.ndarray,
@@ -157,6 +190,8 @@ def grow_forest(
     max_features: int | None,
     rng: np.random.Generator,
     block: int = _FOREST_TREE_BLOCK,
+    jobs: int | None = 1,
+    chunk_trees: int | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
     """Grow all bootstrap trees of a random forest, block-level-wise.
 
@@ -170,6 +205,15 @@ def grow_forest(
     computed once and gathered per bootstrap sample; no per-tree float
     sorting happens at all.
 
+    The same independence makes the fit data-parallel: with ``jobs`` >
+    1 (or ``None`` for all CPUs) contiguous tree ranges fan out over
+    the executor layer — ``x``/``y``, the bootstrap index matrix and
+    the rank matrix cross process boundaries zero-copy through the data
+    plane, the spawned generators ship once per worker, and each worker
+    runs the very same block loop over its range.  Trees come back in
+    tree order, bit-identical to the serial fit for any
+    ``jobs``/``chunk_trees`` setting.
+
     Returns one ``(feature, threshold, left, right, value, train_leaf)``
     tuple per tree, where ``train_leaf`` indexes the tree's bootstrap
     sample rows.
@@ -178,6 +222,21 @@ def grow_forest(
     boot = [rng.integers(0, n, size=n) for _ in range(n_trees)]
     rngs = rng.spawn(n_trees)
     ranks = dense_ranks(x)
+    if (jobs is None or jobs > 1) and n_trees > 1:
+        from repro.experiments.parallel import run_chunked
+
+        parts = run_chunked(
+            _forest_chunk, n_trees, jobs=jobs, chunk_rows=chunk_trees,
+            context={
+                "rngs": rngs, "block": int(block), "n_samp": n,
+                "max_depth": max_depth,
+                "min_samples_leaf": min_samples_leaf,
+                "max_features": max_features,
+            },
+            shared={"x": np.ascontiguousarray(x, dtype=float),
+                    "y": np.ascontiguousarray(y, dtype=float),
+                    "boot": np.stack(boot), "ranks": ranks})
+        return [tree for part in parts for tree in part]
     results = []
     for b in range(0, n_trees, block):
         tb = range(b, min(b + block, n_trees))

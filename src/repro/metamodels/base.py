@@ -91,8 +91,11 @@ def predict_chunked(
     if ensure is not None:
         ensure()
     # Ship a shallow copy with jobs=1 when the model has its own fan-out
-    # knob: a worker predicting its chunk must never spawn a nested
-    # pool.  The copy shares the fitted arrays, so this costs nothing.
+    # knob: a worker predicting a leaf chunk has nothing left to fan
+    # out, so a nested pool would be pure spawn overhead.  (The global
+    # worker budget would clamp such a pool to the worker's lease
+    # anyway — this keeps the leaf path from even trying.)  The copy
+    # shares the fitted arrays, so it costs nothing.
     if getattr(model, "jobs", 1) != 1:
         model = copy.copy(model)
         model.jobs = 1

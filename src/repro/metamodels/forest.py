@@ -45,13 +45,18 @@ class RandomForestModel:
         default) or ``"reference"`` (per-tree loops); fitted trees and
         predictions are bit-identical between the two.
     jobs:
-        Worker processes for prediction (None = all CPUs, default 1):
-        the stacked walk fans contiguous row chunks out over the
-        executor layer against shared-memory query ranks.  Predictions
-        are bit-identical for every ``jobs``/``chunk_rows`` setting, so
-        this is purely a throughput knob (it never affects fits).
+        Worker processes (None = all CPUs, default 1) for prediction
+        *and* for the vectorized fit: the stacked walk fans contiguous
+        row chunks out over the executor layer against shared-memory
+        query ranks, and :func:`~repro.metamodels._kernels.grow_forest`
+        fans contiguous tree ranges the same way (every tree's stream
+        is independent by the draw-then-spawn generator protocol).
+        Fits and predictions are bit-identical for every
+        ``jobs``/``chunk_rows`` setting, so this is purely a throughput
+        knob.
     chunk_rows:
-        Rows per fan-out chunk (default: one chunk per worker).
+        Rows per prediction fan-out chunk (default: one chunk per
+        worker).
     """
 
     def __init__(
@@ -108,7 +113,7 @@ class RandomForestModel:
             for arrays in grow_forest(
                 x, y, n_trees=self.n_trees, max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
-                max_features=mtry, rng=rng,
+                max_features=mtry, rng=rng, jobs=self.jobs,
             ):
                 tree = DecisionTreeRegressor(
                     max_depth=self.max_depth,

@@ -182,6 +182,50 @@ class TestStoreBasics:
         assert opened.root == tmp_path / "other"
 
 
+class TestClaimMarkers:
+    def test_first_claim_wins(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s")
+        key = "ab" + "0" * 62
+        assert store.claim_owner(key) is None
+        assert store.claim(key, "shard-0/2")
+        assert store.claim_owner(key) == "shard-0/2"
+        assert not store.claim(key, "shard-1/2")
+        assert store.claim_owner(key) == "shard-0/2"
+
+    def test_reclaim_by_same_owner_is_granted(self, tmp_path):
+        # A shard restarted after a crash re-wins its own stale claims.
+        store = ExperimentStore(tmp_path / "s")
+        key = "ab" + "0" * 62
+        assert store.claim(key, "shard-0/2")
+        assert store.claim(key, "shard-0/2")
+
+    def test_cross_instance_arbitration(self, tmp_path):
+        # Claims coordinate *independent invocations*: a second store
+        # object on the same directory sees the first one's claims.
+        key = "cd" + "0" * 62
+        assert ExperimentStore(tmp_path / "s").claim(key, "shard-0/2")
+        other = ExperimentStore(tmp_path / "s")
+        assert not other.claim(key, "shard-1/2")
+        assert other.claim_owner(key) == "shard-0/2"
+
+    def test_claims_are_not_records(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s")
+        key = "ab" + "0" * 62
+        assert store.claim(key, "shard-0/2")
+        assert len(store) == 0
+        assert list(store.keys()) == []
+        assert store.get(key) is MISSING
+
+    def test_deleting_claims_releases_ownership(self, tmp_path):
+        import shutil
+
+        store = ExperimentStore(tmp_path / "s")
+        key = "ab" + "0" * 62
+        assert store.claim(key, "shard-0/2")
+        shutil.rmtree(store.root / "claims")
+        assert store.claim(key, "shard-1/2")
+
+
 class TestExecuteWithStore:
     def test_second_run_executes_nothing(self, tmp_path):
         store = ExperimentStore(tmp_path / "s")
