@@ -17,7 +17,7 @@ import sys
 import numpy as np
 
 from repro.core.methods import discover as run_discover
-from repro.data import TABLE1, get_model
+from repro.data import LEVER_MODELS, TABLE1, get_model
 from repro.experiments.harness import aggregate, get_test_data, run_batch
 from repro.experiments.parallel import EXECUTORS, parse_shard
 from repro.experiments.report import format_table
@@ -100,6 +100,14 @@ def _cmd_list_models() -> int:
     for entry in TABLE1:
         print(f"{entry.name:<18} {entry.dim:>3} {entry.n_relevant:>3} "
               f"{entry.share * 100:>8.1f}  {entry.reference}")
+    print("\nmixed numeric+categorical lever models "
+          "(categorical columns as K-level codes):")
+    print(f"{'name':<18} {'M':>3} {'I':>3} {'cat levels':>12}  reference")
+    for name in sorted(LEVER_MODELS):
+        model = LEVER_MODELS[name]
+        cats = ",".join(f"{j}:{k}" for j, k in model.cat_levels_map.items())
+        print(f"{name:<18} {model.dim:>3} {model.n_relevant:>3} "
+              f"{cats:>12}  {model.reference}")
     return 0
 
 
@@ -119,6 +127,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         tune_metamodel=not args.no_tune,
         engine=args.engine,
         jobs=args.jobs if args.jobs > 0 else None,
+        cat_levels=model.cat_levels_map or None,
     )
     x_test, y_test = get_test_data(args.function, size=args.test_size)
     _, auc = trajectory_of(result.boxes, x_test, y_test)

@@ -104,8 +104,12 @@ def active_reds(
     jobs / chunk_rows:
         Worker processes (None = all CPUs) for the per-round candidate
         scoring and the final relabelling, via
-        :func:`repro.metamodels.base.predict_chunked` — bit-identical
-        to the serial loop for every setting.
+        :func:`repro.metamodels.base.predict_chunked`, and — for the
+        forest metamodel — for each round's refit, whose independent
+        tree fits fan out under the same budget (clamped to the
+        ambient worker lease when the loop itself runs inside a
+        budgeted plan).  Bit-identical to the serial loop for every
+        setting.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
@@ -124,7 +128,14 @@ def active_reds(
     x = draw(initial, dim, rng)
     y = np.asarray(oracle(x), dtype=float)
 
-    model = make_metamodel(metamodel).fit(x, y)
+    # Every round refits from scratch; the forest's independent tree
+    # fits are the dominant cost, so hand them the loop's worker
+    # budget.  Other families fit sequentially (their fits are cheap
+    # relative to the candidate scoring, which fans out regardless).
+    fit_kwargs = (dict(jobs=jobs, chunk_rows=chunk_rows)
+                  if metamodel == "forest" else {})
+
+    model = make_metamodel(metamodel, **fit_kwargs).fit(x, y)
     history: list[float] = []
     remaining = budget - initial
     while remaining > 0:
@@ -141,7 +152,7 @@ def active_reds(
         y_query = np.asarray(oracle(x_query), dtype=float)
         x = np.vstack([x, x_query])
         y = np.concatenate([y, y_query])
-        model = make_metamodel(metamodel).fit(x, y)
+        model = make_metamodel(metamodel, **fit_kwargs).fit(x, y)
         remaining -= take
 
     # Final REDS step: relabel a large sample with the final metamodel.

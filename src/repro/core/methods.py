@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core import hyperparams as hp
 from repro.core.reds import Sampler, reds
+from repro.sampling.designs import quantize_levels
 from repro.subgroup.best_interval import best_interval
 from repro.subgroup.box import Hyperbox
 from repro.subgroup.bumping import prim_bumping
@@ -131,6 +132,7 @@ def discover(
     engine: str = "vectorized",
     jobs: int | None = 1,
     chunk_rows: int | None = None,
+    cat_levels: dict[int, int] | None = None,
 ) -> DiscoveryResult:
     """Run the method ``name`` on dataset ``(x, y)``.
 
@@ -145,14 +147,33 @@ def discover(
     :func:`repro.subgroup.best_interval.best_interval`) *and* the
     metamodel layer of REDS methods (tree growth and stacked ensemble
     prediction, see :mod:`repro.metamodels._kernels`); ``jobs`` /
-    ``chunk_rows`` fan the data-parallel REDS stages (metamodel tuning
-    folds, pool labeling) out over worker processes with bit-identical
-    results — they are ignored by the non-REDS methods, whose work is
-    a single sequential search.
+    ``chunk_rows`` fan the data-parallel stages (metamodel tuning
+    folds, pool labeling, bumping repeats) out over worker processes
+    with bit-identical results.
+
+    ``cat_levels`` declares categorical inputs as a ``{column index:
+    level count}`` map (:attr:`repro.data.model.SimulationModel.cat_levels_map`).
+    The listed columns must hold integer codes ``0 .. K-1``; subgroup
+    discovery then peels/refines them category-wise (subset
+    restrictions instead of intervals), and REDS methods draw their
+    relabeling sample with those columns quantized to the same codes.
+    Hyperparameter optimisation (the ``c`` methods) still scores
+    candidates on ordinal-coded data — a deliberate simplification
+    that only affects which ``alpha``/``m`` gets picked, never the
+    discovery semantics.  The metamodel layer likewise treats the codes
+    as ordered integers (the documented ordinal fallback, see
+    :mod:`repro.metamodels._kernels`).
     """
     spec = parse_method(name)
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
+    if cat_levels:
+        bad = [j for j in cat_levels if not 0 <= int(j) < x.shape[1]]
+        if bad:
+            raise ValueError(
+                f"cat_levels columns {bad} out of range for {x.shape[1]} inputs")
+        cat_levels = {int(j): int(k) for j, k in cat_levels.items()}
+    cat_cols = tuple(sorted(cat_levels)) if cat_levels else ()
     rng = np.random.default_rng(seed)
     t0 = time.perf_counter()
     chosen_params: dict = {}
@@ -195,19 +216,20 @@ def discover(
             return prim_peel(data_x, data_y, alpha=alpha,
                              min_support=min_support, paste=paste,
                              x_val=validation[0], y_val=validation[1],
-                             engine=engine)
+                             engine=engine, cat_cols=cat_cols)
     elif spec.sd == "bumping":
         def run_sd(data_x: np.ndarray, data_y: np.ndarray):
             return prim_bumping(
                 data_x, data_y, alpha=alpha, min_support=min_support,
                 n_repeats=n_repeats, n_features=depth, rng=rng,
                 x_val=validation[0], y_val=validation[1],
-                engine=engine,
+                engine=engine, cat_cols=cat_cols, jobs=jobs,
             )
     else:
         def run_sd(data_x: np.ndarray, data_y: np.ndarray):
             return best_interval(data_x, data_y, depth=depth,
-                                 beam_size=spec.beam_size, engine=engine)
+                                 beam_size=spec.beam_size, engine=engine,
+                                 cat_cols=cat_cols)
 
     # ------------------------------------------------------------------
     # Run, possibly through REDS.
@@ -215,6 +237,14 @@ def discover(
     if spec.is_reds:
         if n_new is None:
             n_new = DEFAULT_L_PRIM if spec.family == "prim" else DEFAULT_L_BI
+        if cat_levels and sampler is None and pool is None:
+            # The relabeling sample must live in the same mixed input
+            # space as D: uniform on the numeric columns, uniform over
+            # the integer codes on the categorical ones.
+            levels = dict(cat_levels)
+
+            def sampler(n_pts: int, m: int, gen: np.random.Generator):
+                return quantize_levels(gen.random((n_pts, m)), levels)
         chosen_params["L"] = n_new if pool is None else len(pool)
         chosen_params["metamodel"] = spec.metamodel
         reds_result = reds(

@@ -7,6 +7,7 @@ binary "interesting" label, exactly as in the paper's experimental
 pipeline: sample inputs, simulate, binarise with a threshold.
 """
 
+from repro.data.levers import LEVER_MODELS, get_lever_model
 from repro.data.model import SimulationModel, make_dataset
 from repro.data.registry import (
     get_model,
@@ -15,6 +16,7 @@ from repro.data.registry import (
     ALL_FUNCTIONS,
     CONTINUOUS_FUNCTIONS,
     MIXED_INPUT_FUNCTIONS,
+    LEVER_FUNCTIONS,
     THIRD_PARTY,
     TABLE1,
     Table1Entry,
@@ -24,11 +26,14 @@ __all__ = [
     "SimulationModel",
     "make_dataset",
     "get_model",
+    "get_lever_model",
     "list_models",
     "third_party_dataset",
     "ALL_FUNCTIONS",
     "CONTINUOUS_FUNCTIONS",
     "MIXED_INPUT_FUNCTIONS",
+    "LEVER_FUNCTIONS",
+    "LEVER_MODELS",
     "THIRD_PARTY",
     "TABLE1",
     "Table1Entry",

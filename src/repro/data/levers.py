@@ -1,0 +1,128 @@
+"""Mixed numeric+categorical lever models: the discrete-mode workloads.
+
+Real scenario-discovery inputs are rarely all continuous: policy
+studies mix numeric levers (budgets, rates) with categorical ones
+(operating modes, technology variants, dispatch rules) — the scope
+shape of tmip-emat, where real, integer and categorical parameters ride
+one design.  This family supplies deterministic mixed-type generators
+whose interesting region spans numeric *intervals* and category
+*subsets*, so categorical peeling/refinement has ground truth to
+recover.
+
+Every model here is ``kind="binary"`` with ``domain=None``: inputs stay
+in unit-cube coordinates except the categorical columns, which hold
+integer codes ``0 .. K-1`` produced by the design quantization
+(:meth:`repro.data.model.SimulationModel.quantize`).  The generators
+read the codes directly — no scaling is ever applied to them.
+
+The three members cover the interesting structural cases:
+
+``policy``
+    Numeric interval x category subset, plus an irrelevant categorical
+    column — exercises mixed boxes and the irrelevant-restriction
+    quality measure.
+``dispatch``
+    The category's effect shifts a numeric threshold (interaction
+    between a numeric lever and a mode), so neither marginal alone
+    separates the classes.
+``portfolio``
+    Purely categorical interesting set over two columns — discovery
+    must work with no numeric restriction at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.model import SimulationModel
+
+__all__ = ["LEVER_MODELS", "get_lever_model"]
+
+
+def _policy_raw(x: np.ndarray) -> np.ndarray:
+    # Interesting iff the budget lever sits in a mid interval, the
+    # uptake lever is not extreme, and the mode is 0 or 2.  Column 5
+    # (variant) is irrelevant.
+    budget, uptake, mode = x[:, 0], x[:, 1], x[:, 4]
+    return ((budget >= 0.15) & (budget <= 0.65)
+            & (uptake <= 0.7)
+            & np.isin(mode, (0.0, 2.0))).astype(float)
+
+
+def _dispatch_raw(x: np.ndarray) -> np.ndarray:
+    # Each dispatch rule shifts the capacity threshold: under rules
+    # {0, 3} the plant fails below 0.55 capacity, under {1, 2, 4} only
+    # below 0.25 — a numeric-categorical interaction.  The carrier
+    # column only matters through a mild demand offset.
+    capacity, demand = x[:, 0], x[:, 1]
+    rule, carrier = x[:, 5], x[:, 6]
+    threshold = np.where(np.isin(rule, (0.0, 3.0)), 0.55, 0.25)
+    return ((capacity <= threshold) & (demand + 0.05 * carrier >= 0.4)).astype(float)
+
+
+def _portfolio_raw(x: np.ndarray) -> np.ndarray:
+    # Interesting iff the technology is in {1, 3} and the contract type
+    # is 0 — no numeric column matters at all.
+    tech, contract = x[:, 3], x[:, 4]
+    return (np.isin(tech, (1.0, 3.0)) & (contract == 0.0)).astype(float)
+
+
+#: The mixed-type lever family: name -> ready SimulationModel.
+LEVER_MODELS: dict[str, SimulationModel] = {
+    "policy": SimulationModel(
+        name="policy",
+        dim=6,
+        relevant=(0, 1, 4),
+        kind="binary",
+        raw=_policy_raw,
+        reference="levers",
+        cat_cols=(4, 5),
+        cat_sizes=(4, 3),
+    ),
+    "dispatch": SimulationModel(
+        name="dispatch",
+        dim=8,
+        relevant=(0, 1, 5, 6),
+        kind="binary",
+        raw=_dispatch_raw,
+        reference="levers",
+        cat_cols=(5, 6, 7),
+        cat_sizes=(5, 4, 2),
+    ),
+    "portfolio": SimulationModel(
+        name="portfolio",
+        dim=5,
+        relevant=(3, 4),
+        kind="binary",
+        raw=_portfolio_raw,
+        reference="levers",
+        cat_cols=(3, 4),
+        cat_sizes=(4, 3),
+    ),
+}
+
+
+def get_lever_model(name: str) -> SimulationModel:
+    """Look up a mixed-type lever model by name.
+
+    Parameters
+    ----------
+    name : str
+        One of ``"policy"``, ``"dispatch"``, ``"portfolio"``.
+
+    Returns
+    -------
+    SimulationModel
+
+    Examples
+    --------
+    >>> model = get_lever_model("policy")
+    >>> model.cat_levels_map
+    {4: 4, 5: 3}
+    """
+    try:
+        return LEVER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown lever model {name!r}; available: {sorted(LEVER_MODELS)}"
+        ) from None

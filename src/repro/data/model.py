@@ -31,7 +31,7 @@ from typing import Callable, Literal
 
 import numpy as np
 
-from repro.sampling.designs import get_sampler
+from repro.sampling.designs import get_sampler, quantize_levels
 
 __all__ = ["SimulationModel", "make_dataset"]
 
@@ -69,6 +69,13 @@ class SimulationModel:
     default_sampler:
         Sampler name used by the paper for this model (``"lhs"`` for all
         analytic functions, ``"halton"`` for dsgc).
+    cat_cols:
+        Indices of categorical inputs (the mixed-type lever models).
+        Design points on these columns are quantized from ``[0, 1]`` to
+        integer codes before the model sees them, and discovery treats
+        them as unordered categories.
+    cat_sizes:
+        Level counts aligned with ``cat_cols`` (each >= 2).
     """
 
     name: str
@@ -80,6 +87,8 @@ class SimulationModel:
     domain: np.ndarray | None = None
     default_sampler: str = "lhs"
     reference: str = ""
+    cat_cols: tuple[int, ...] = ()
+    cat_sizes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.dim <= 0:
@@ -88,6 +97,12 @@ class SimulationModel:
             raise ValueError("relevant indices must lie in [0, dim)")
         if self.kind == "real" and self.threshold is None:
             raise ValueError(f"model {self.name!r} is 'real' but has no threshold")
+        if len(self.cat_cols) != len(self.cat_sizes):
+            raise ValueError("cat_cols and cat_sizes must align")
+        if not all(0 <= j < self.dim for j in self.cat_cols):
+            raise ValueError("cat_cols indices must lie in [0, dim)")
+        if not all(k >= 2 for k in self.cat_sizes):
+            raise ValueError("every categorical input needs >= 2 levels")
         if self.domain is not None:
             dom = np.asarray(self.domain, dtype=float)
             if dom.shape != (2, self.dim):
@@ -142,6 +157,22 @@ class SimulationModel:
         return (rng.random(len(p)) < p).astype(np.int64)
 
     @property
+    def cat_levels_map(self) -> dict[int, int]:
+        """``{column index: level count}`` for the categorical inputs."""
+        return dict(zip(self.cat_cols, self.cat_sizes))
+
+    def quantize(self, u: np.ndarray) -> np.ndarray:
+        """Quantize unit-cube design points to this model's input space.
+
+        Categorical columns are mapped from ``[0, 1]`` to their integer
+        codes (:func:`repro.sampling.designs.quantize_levels`); for a
+        purely numeric model the design is returned unchanged.
+        """
+        if not self.cat_cols:
+            return np.asarray(u, dtype=float)
+        return quantize_levels(u, self.cat_levels_map)
+
+    @property
     def n_relevant(self) -> int:
         """``I`` of Table 1: the number of inputs affecting the output."""
         return len(self.relevant)
@@ -153,9 +184,12 @@ class SimulationModel:
         return tuple(j for j in range(self.dim) if j not in rel)
 
     def share(self, n: int = 100_000, seed: int = 0) -> float:
-        """Monte-Carlo estimate of ``P(y = 1)`` under uniform inputs."""
+        """Monte-Carlo estimate of ``P(y = 1)`` under uniform inputs.
+
+        Categorical inputs are sampled uniformly over their levels.
+        """
         rng = np.random.default_rng(seed)
-        u = rng.random((n, self.dim))
+        u = self.quantize(rng.random((n, self.dim)))
         return float(self.prob(u).mean())
 
 
@@ -171,8 +205,12 @@ def make_dataset(
     Returns ``(X, y)`` with ``X`` in unit-cube coordinates, matching the
     paper's experiment pipeline (Section 8.5).  ``sampler`` defaults to
     the model's paper-prescribed design (LHS, or Halton for dsgc).
+    Categorical columns of mixed-type models come back as integer codes
+    (the design's stratification makes their level counts near-balanced
+    under LHS/Halton bases — see
+    :func:`repro.sampling.designs.quantize_levels`).
     """
     design = get_sampler(sampler or model.default_sampler)
-    x = design(n, model.dim, rng)
+    x = model.quantize(design(n, model.dim, rng))
     y = model.label(x, rng)
     return x, y

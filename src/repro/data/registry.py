@@ -25,6 +25,7 @@ import numpy as np
 from repro.data import dalal, ellipse as ellipse_mod, saltelli, surjanovic
 from repro.data.dsgc import DSGC_DIM, dsgc_unstable
 from repro.data.lake import lake_dataset
+from repro.data.levers import LEVER_MODELS
 from repro.data.model import SimulationModel
 from repro.data.tgl import tgl_dataset
 
@@ -37,6 +38,7 @@ __all__ = [
     "ALL_FUNCTIONS",
     "CONTINUOUS_FUNCTIONS",
     "MIXED_INPUT_FUNCTIONS",
+    "LEVER_FUNCTIONS",
     "THIRD_PARTY",
 ]
 
@@ -112,6 +114,9 @@ MIXED_INPUT_FUNCTIONS: tuple[str, ...] = tuple(
     name for name in ALL_FUNCTIONS if name != "dsgc"
 )
 THIRD_PARTY: tuple[str, ...] = ("TGL", "lake")
+#: Mixed numeric+categorical lever models (not part of Table 1; see
+#: :mod:`repro.data.levers`).
+LEVER_FUNCTIONS: tuple[str, ...] = tuple(sorted(LEVER_MODELS))
 
 # (raw callable, native domain or None) for every deterministic function.
 _REAL_FUNCTIONS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], np.ndarray | None]] = {
@@ -171,11 +176,14 @@ def _calibrate_threshold(raw: Callable[[np.ndarray], np.ndarray],
 
 @lru_cache(maxsize=None)
 def get_model(name: str) -> SimulationModel:
-    """Build the :class:`SimulationModel` for a Table 1 function name."""
+    """Build the :class:`SimulationModel` for a Table 1 or lever name."""
+    if name in LEVER_MODELS:
+        return LEVER_MODELS[name]
     entry = _TABLE1_BY_NAME.get(name)
     if entry is None or name in THIRD_PARTY:
+        available = sorted(ALL_FUNCTIONS) + sorted(LEVER_FUNCTIONS)
         raise KeyError(
-            f"unknown simulation model {name!r}; available: {sorted(ALL_FUNCTIONS)}"
+            f"unknown simulation model {name!r}; available: {available}"
         )
 
     if name in dalal.NOISY_FUNCTIONS:

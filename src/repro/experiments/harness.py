@@ -109,13 +109,19 @@ def make_train_data(
     seed: int,
     variant: str = "continuous",
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Training dataset ``D`` for one repetition."""
+    """Training dataset ``D`` for one repetition.
+
+    For mixed-type models (``model.cat_cols`` non-empty) the design's
+    categorical columns are quantized to integer codes before labeling,
+    so ``D`` lives in the same space discovery and the test sample use.
+    """
     rng = np.random.default_rng(seed)
     if variant == "logitnormal":
         x = logit_normal(n, model.dim, rng)
     else:
         x = get_sampler(model.default_sampler)(n, model.dim, rng)
         x = _variant_postprocess(x, variant, rng)
+    x = model.quantize(x)
     return x, model.label(x, rng)
 
 
@@ -161,6 +167,7 @@ def get_test_data(function: str, variant: str = "continuous",
     else:
         x = rng.random((size, model.dim))
         x = _variant_postprocess(x, variant, rng)
+    x = model.quantize(x)
     y = model.label(x, rng)
     x.setflags(write=False)
     y.setflags(write=False)
@@ -180,10 +187,19 @@ def reds_sampler_for(variant: str) -> Sampler | None:
 
 def discrete_levels_for(model: SimulationModel,
                         variant: str) -> dict[int, np.ndarray] | None:
-    """Per-dimension discrete levels for consistency (mixed inputs)."""
-    if variant != "mixed":
-        return None
-    return {j: MIXED_LEVELS for j in range(1, model.dim, 2)}
+    """Per-dimension discrete levels for consistency measures.
+
+    Covers both discretisation sources: the ``"mixed"`` variant's
+    five-level grid on every even input (Section 9.1.2) and the integer
+    codes of a mixed-type model's categorical columns, whose volume
+    contribution is the fraction of levels a box allows.
+    """
+    levels: dict[int, np.ndarray] = {}
+    if variant == "mixed":
+        levels.update({j: MIXED_LEVELS for j in range(1, model.dim, 2)})
+    for j, k in model.cat_levels_map.items():
+        levels[j] = np.arange(k, dtype=float)
+    return levels or None
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +323,7 @@ def run_single(
         tune_metamodel=tune_metamodel,
         engine=engine,
         jobs=inner_jobs,
+        cat_levels=model.cat_levels_map or None,
     )
     measures = evaluate_boxes(result, x_test, y_test, model.relevant,
                               jobs=inner_jobs)

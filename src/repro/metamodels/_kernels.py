@@ -49,6 +49,21 @@ array passes) to the metamodel layer:
 Feature subsampling draws one batched ``rng.random`` per tree level
 (:func:`draw_candidates`, shared by both engines), which keeps random
 forests bit-reproducible across engines too.
+
+Categorical inputs: the ordinal fallback
+----------------------------------------
+Mixed-type datasets reach this layer with their categorical columns
+holding integer codes ``0 .. K-1`` (see
+:func:`repro.sampling.designs.quantize_levels`).  The split scan
+deliberately treats those codes as **ordered integers** — a code column
+dense-ranks like any float column and splits are ``code <= t``
+thresholds — rather than growing one-vs-rest category branches.  Trees
+recover arbitrary category subsets by stacking at most ``K - 1``
+ordinal splits on the same column, so no expressiveness is lost for the
+small ``K`` of scenario levers, and both engines stay bit-identical by
+sharing one code path.  Category-subset semantics live exclusively in
+the subgroup layer (:mod:`repro.subgroup._kernels`), where the box
+description — not just the fitted response — is the product.
 """
 
 from __future__ import annotations

@@ -13,6 +13,8 @@ __all__ = [
     "latin_hypercube",
     "halton_sequence",
     "uniform_random",
+    "quantize_levels",
+    "mixed_design",
     "get_sampler",
     "SAMPLERS",
 ]
@@ -98,6 +100,86 @@ def halton_sequence(
     if rng is not None:
         samples = (samples + rng.random(m)) % 1.0
     return samples
+
+
+def quantize_levels(u: np.ndarray,
+                    cat_levels: dict[int, int]) -> np.ndarray:
+    """Map unit-interval columns of a design to integer category codes.
+
+    The bridge between continuous space-filling designs and categorical
+    model inputs: column ``j`` listed in ``cat_levels`` is mapped from
+    ``[0, 1)`` to the codes ``0 .. K-1`` by ``floor(u * K)`` (the value
+    ``1.0`` maps to ``K - 1``).  Equal-width strata mean a stratified
+    design (Latin hypercube, Halton) yields near-balanced level counts —
+    the category-aware analogue of its margin stratification — while
+    plain Monte-Carlo designs get multinomially distributed counts.
+
+    Parameters
+    ----------
+    u : ndarray of shape (n, m)
+        A design on the unit hypercube.
+    cat_levels : dict[int, int]
+        Maps column index -> number of category levels (>= 2).
+
+    Returns
+    -------
+    ndarray of shape (n, m)
+        A copy of ``u`` with the listed columns replaced by float codes
+        ``0.0 .. K-1``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> u = np.array([[0.1, 0.74], [0.9, 0.26]])
+    >>> quantize_levels(u, {1: 4}).tolist()
+    [[0.1, 2.0], [0.9, 1.0]]
+    """
+    x = np.array(u, dtype=float, copy=True)
+    for j, k in cat_levels.items():
+        if k < 2:
+            raise ValueError(f"column {j} needs >= 2 levels, got {k}")
+        if j < 0 or j >= x.shape[1]:
+            raise ValueError(f"cat_levels column {j} out of range "
+                             f"for {x.shape[1]} columns")
+        x[:, j] = np.minimum(np.floor(u[:, j] * k), k - 1)
+    return x
+
+
+def mixed_design(
+    n: int,
+    m: int,
+    rng: np.random.Generator,
+    *,
+    cat_levels: dict[int, int],
+    base: str = "lhs",
+) -> np.ndarray:
+    """Category-aware design: a base sampler plus level quantization.
+
+    Draws ``n`` points from the named base design and quantizes the
+    categorical columns through :func:`quantize_levels`.  With the
+    default Latin-hypercube base each category level of each column is
+    hit a near-equal number of times (exactly equal when ``n`` is a
+    multiple of the level count), the mixed-scope sampling idiom of
+    tmip-emat's scope-driven designs.
+
+    Parameters
+    ----------
+    n, m : int
+        Number of points and total number of columns.
+    rng : numpy.random.Generator
+        Randomness source for the base design.
+    cat_levels : dict[int, int]
+        Maps column index -> number of category levels.
+    base : str
+        Base sampler name (``"lhs"``, ``"halton"``, ``"uniform"``).
+
+    Returns
+    -------
+    ndarray of shape (n, m)
+        Numeric columns in ``[0, 1]``, categorical columns holding
+        float codes ``0.0 .. K-1``.
+    """
+    return quantize_levels(get_sampler(base)(n, m, rng), cat_levels)
 
 
 SAMPLERS = {

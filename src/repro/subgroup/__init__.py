@@ -17,7 +17,7 @@ Implements the algorithms of Section 3 of the paper, one module each:
   (Section 5).
 """
 
-from repro.subgroup.box import Hyperbox
+from repro.subgroup.box import Hyperbox, cat_mask
 from repro.subgroup.prim import PRIMResult, prim_peel, OBJECTIVES, ENGINES
 from repro.subgroup.bumping import BumpingResult, pareto_front, prim_bumping
 from repro.subgroup.best_interval import (
@@ -30,6 +30,7 @@ from repro.subgroup.covering import covering
 from repro.subgroup._kernels import (
     BoxBatchEvaluation,
     SortedDataset,
+    best_cat_subset,
     contains_many,
     evaluate_boxes,
 )
@@ -38,11 +39,14 @@ from repro.subgroup.describe import (
     describe_box,
     describe_trajectory,
     box_to_dict,
+    box_from_dict,
     summarize_box,
 )
 
 __all__ = [
     "Hyperbox",
+    "cat_mask",
+    "best_cat_subset",
     "PRIMResult",
     "prim_peel",
     "OBJECTIVES",
@@ -66,5 +70,6 @@ __all__ = [
     "describe_box",
     "describe_trajectory",
     "box_to_dict",
+    "box_from_dict",
     "summarize_box",
 ]

@@ -56,6 +56,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.subgroup.box import cat_mask
+
 __all__ = [
     "PeelCandidate",
     "VectorizedPeeler",
@@ -64,6 +66,7 @@ __all__ = [
     "sorted_quantile",
     "sorted_group_sums",
     "max_sum_run",
+    "best_cat_subset",
     "SortedDataset",
     "BoxBatchEvaluation",
     "contains_many",
@@ -116,7 +119,9 @@ class PeelCandidate:
     """The winning cut of one peeling step.
 
     ``keep_rows`` holds the ascending row indices (into the arrays the
-    peeler was built from) that survive the cut.
+    peeler was built from) that survive the cut.  A categorical winner
+    sets ``new_cats`` — the remaining allowed codes after removing one
+    category — and leaves both bounds ``None``.
     """
 
     dim: int
@@ -124,24 +129,31 @@ class PeelCandidate:
     new_upper: float | None
     keep_rows: np.ndarray
     score: float
+    new_cats: tuple | None = None
 
 
 class VectorizedPeeler:
     """Incremental candidate-cut evaluator for one PRIM peeling run.
 
     Construction sorts every dimension once; :meth:`best_peel` scores
-    all 2M candidate cuts of the current box from prefix sums, and
-    :meth:`apply` shrinks the maintained sorted orders to the rows kept
-    by an accepted cut.
+    every candidate cut of the current box from prefix sums — two
+    alpha-cuts per numeric dimension, one removed level per categorical
+    dimension (``cat_cols``) — and :meth:`apply` shrinks the maintained
+    sorted orders to the rows kept by an accepted cut.  Categorical
+    candidates ride the same sort-once machinery: equal codes form one
+    contiguous run of the sorted column, so removing a category is a
+    slice sum exactly like an alpha-cut.
     """
 
     def __init__(self, x: np.ndarray, y: np.ndarray, alpha: float,
-                 objective: str, total_mean: float, total_n: int) -> None:
+                 objective: str, total_mean: float, total_n: int,
+                 cat_cols=()) -> None:
         self.y = y
         self.alpha = alpha
         self.objective = objective
         self.total_mean = total_mean
         self.total_n = total_n
+        self.cat_cols = frozenset(int(c) for c in cat_cols)
         self.in_box = np.arange(len(x))
         # Column j of sorted_rows: row indices ordered by x[:, j];
         # values holds the corresponding (column-sorted) x values.
@@ -157,7 +169,7 @@ class VectorizedPeeler:
         self._exact_sums = bool(np.all((y == 0.0) | (y == 1.0)))
 
     def best_peel(self) -> PeelCandidate | None:
-        """The best-scoring candidate peel across all 2M faces, or None."""
+        """The best-scoring candidate peel across all faces, or None."""
         v = self.values
         n, n_dim = v.shape
         if n < 2:
@@ -169,17 +181,41 @@ class VectorizedPeeler:
         low_q = sorted_quantile(v, self.alpha)
         high_q = sorted_quantile(v, 1.0 - self.alpha)
 
-        # Candidate layout matches the reference iteration order: index
-        # 2j is dimension j's lower cut, 2j + 1 its upper cut.  An
-        # alpha-cut removes only a short sorted run, so each candidate
-        # sum is one slice sum over the removed side, never a full pass.
-        cuts = np.zeros(2 * n_dim, dtype=np.int64)
-        bounds = np.zeros(2 * n_dim)
-        kept = np.zeros(2 * n_dim, dtype=np.int64)
-        kept_sums = np.zeros(2 * n_dim)
-        valid = np.zeros(2 * n_dim, dtype=bool)
+        # Candidate layout matches the reference iteration order:
+        # dimension major; a numeric dimension contributes its lower
+        # then its upper alpha-cut, a categorical dimension one
+        # candidate per in-box level in ascending code order.  Every
+        # candidate removes one contiguous run [start, stop) of its
+        # column's sorted order (equal codes are adjacent after the
+        # sort), so each candidate sum is one slice sum over the short
+        # removed run, never a full pass.
+        dims: list[int] = []
+        bounds: list[float] = []
+        starts: list[int] = []
+        stops: list[int] = []
+        cat_flags: list[bool] = []
+        kept_counts: list[int] = []
+        kept_sums: list[float] = []
         for j in range(n_dim):
             vj = v[:, j]
+
+            if j in self.cat_cols:
+                # One candidate per removable category: drop the whole
+                # level's run; a single remaining level cannot be peeled.
+                group_starts = np.flatnonzero(
+                    np.concatenate(([True], vj[1:] > vj[:-1])))
+                if len(group_starts) < 2:
+                    continue
+                group_stops = np.append(group_starts[1:], n)
+                for g0, g1 in zip(group_starts.tolist(), group_stops.tolist()):
+                    dims.append(j)
+                    bounds.append(float(vj[g0]))
+                    starts.append(g0)
+                    stops.append(g1)
+                    cat_flags.append(True)
+                    kept_counts.append(n - (g1 - g0))
+                    kept_sums.append(total_y - float(y[rows[g0:g1, j]].sum()))
+                continue
 
             # Lower cut: drop everything below the alpha-quantile; if
             # the whole box ties at the minimum, peel that entire level.
@@ -190,10 +226,13 @@ class VectorizedPeeler:
                 if cut < n:
                     bound = vj[cut]
             if 0 < cut < n:
-                i = 2 * j
-                cuts[i], bounds[i], valid[i] = cut, bound, True
-                kept[i] = n - cut
-                kept_sums[i] = total_y - float(y[rows[:cut, j]].sum())
+                dims.append(j)
+                bounds.append(float(bound))
+                starts.append(0)
+                stops.append(cut)
+                cat_flags.append(False)
+                kept_counts.append(n - cut)
+                kept_sums.append(total_y - float(y[rows[:cut, j]].sum()))
 
             # Upper cut: drop everything above the (1 - alpha)-quantile;
             # same whole-level fallback at the maximum.
@@ -204,54 +243,58 @@ class VectorizedPeeler:
                 if cut > 0:
                     bound = vj[cut - 1]
             if 0 < cut < n:
-                i = 2 * j + 1
-                cuts[i], bounds[i], valid[i] = cut, bound, True
-                kept[i] = cut
-                kept_sums[i] = total_y - float(y[rows[cut:, j]].sum())
+                dims.append(j)
+                bounds.append(float(bound))
+                starts.append(cut)
+                stops.append(n)
+                cat_flags.append(False)
+                kept_counts.append(cut)
+                kept_sums.append(total_y - float(y[rows[cut:, j]].sum()))
 
-        if not valid.any():
+        if not dims:
             return None
 
-        mean_after = kept_sums / np.maximum(kept, 1)
+        kept = np.array(kept_counts, dtype=np.int64)
+        sums = np.array(kept_sums)
+        mean_after = sums / np.maximum(kept, 1)
         if self.objective == "mean":
             scores = mean_after
         elif self.objective == "gain":
             scores = (mean_after - mean_before) / np.maximum(n - kept, 1)
         else:  # "wracc"
             scores = (kept / self.total_n) * (mean_after - self.total_mean)
-        scores = np.where(valid, scores, -np.inf)
 
         best = int(np.argmax(scores))
         if not self._exact_sums:
-            best = self._resolve_near_ties(scores, best, n, cuts, mean_before)
+            best = self._resolve_near_ties(scores, best, dims, starts, stops,
+                                           mean_before)
 
-        start, stop = self._keep_run(best, cuts, n)
-        bound = float(bounds[best])
-        is_lower = best % 2 == 0
-        # The removed run is short (about alpha * n rows), so the
-        # ascending kept set comes cheaper from deleting its positions
-        # in the ascending in_box than from sorting the kept slice.
-        removed = np.sort(rows[:start, best // 2] if is_lower
-                          else rows[stop:, best // 2])
+        dim = dims[best]
+        start, stop = starts[best], stops[best]
+        bound = bounds[best]
+        # The removed run is short (about alpha * n rows, or one
+        # category's level), so the ascending kept set comes cheaper
+        # from deleting its positions in the ascending in_box than from
+        # sorting the kept slice.
+        removed = np.sort(rows[start:stop, dim])
         keep_rows = np.delete(self.in_box, np.searchsorted(self.in_box, removed))
+        if cat_flags[best]:
+            new_cats = tuple(float(c) for c in np.unique(v[:, dim])
+                             if c != bound)
+            return PeelCandidate(dim=dim, new_lower=None, new_upper=None,
+                                 keep_rows=keep_rows,
+                                 score=float(scores[best]), new_cats=new_cats)
+        is_lower = start == 0
         return PeelCandidate(
-            dim=best // 2,
+            dim=dim,
             new_lower=bound if is_lower else None,
             new_upper=None if is_lower else bound,
             keep_rows=keep_rows,
             score=float(scores[best]),
         )
 
-    @staticmethod
-    def _keep_run(candidate: int, cuts: np.ndarray, n: int) -> tuple[int, int]:
-        """The sorted-order run a candidate keeps: tail for lower cuts,
-        head for upper cuts."""
-        if candidate % 2 == 0:
-            return int(cuts[candidate]), n
-        return 0, int(cuts[candidate])
-
-    def _resolve_near_ties(self, scores: np.ndarray, best: int, n: int,
-                           cuts: np.ndarray, mean_before: float) -> int:
+    def _resolve_near_ties(self, scores: np.ndarray, best: int, dims, starts,
+                           stops, mean_before: float) -> int:
         """First candidate winning under exact reference scoring.
 
         Slice sums of soft labels carry rounding noise, so candidates
@@ -266,16 +309,18 @@ class VectorizedPeeler:
         contenders = np.nonzero(scores >= best_score - tol)[0]
         if len(contenders) < 2:
             return best
+        n = self.values.shape[0]
         winner, winner_score = best, -np.inf
         for i in contenders:
-            start, stop = self._keep_run(int(i), cuts, n)
-            rows = np.sort(self.sorted_rows[start:stop, i // 2])
+            i = int(i)
+            col = self.sorted_rows[:, dims[i]]
+            rows = np.sort(np.concatenate((col[:starts[i]], col[stops[i]:])))
             exact = peel_score(
-                self.objective, float(self.y[rows].mean()), stop - start, n,
+                self.objective, float(self.y[rows].mean()), len(rows), n,
                 mean_before, self.total_mean, self.total_n,
             )
             if exact > winner_score:
-                winner, winner_score = int(i), exact
+                winner, winner_score = i, exact
         return winner
 
     def apply(self, step: PeelCandidate) -> None:
@@ -301,10 +346,11 @@ def best_peel(
     objective: str = "mean",
     total_mean: float = 0.0,
     total_n: int = 1,
+    cat_cols=(),
 ) -> PeelCandidate | None:
     """One-shot candidate search over the rows of ``x_box``/``y_box``."""
     peeler = VectorizedPeeler(x_box, y_box, alpha, objective,
-                              total_mean, total_n)
+                              total_mean, total_n, cat_cols=cat_cols)
     return peeler.best_peel()
 
 
@@ -372,6 +418,47 @@ def max_sum_run(sums: np.ndarray) -> tuple[int, int, float]:
     return start, end, float(scores[end])
 
 
+def best_cat_subset(group_sums: np.ndarray) -> np.ndarray:
+    """Selection mask of the WRAcc-optimal unordered category subset.
+
+    The categorical analogue of :func:`max_sum_run`: category levels
+    are unordered, so the subset maximising the summed WRAcc weights
+    ``y - pi`` is simply every level with a positive weight sum.  At
+    least one level is always selected (a subgroup must be non-empty):
+    when no sum is positive the first level attaining the maximum wins,
+    mirroring the first-maximum convention of the interval scorer.
+    Zero-sum levels are excluded — they leave the quality unchanged and
+    excluding them yields the tighter description.
+
+    Both BestInterval engines share this scorer, which is what makes
+    their categorical refinements bit-identical.
+
+    Parameters
+    ----------
+    group_sums : ndarray of shape (G,)
+        Summed WRAcc weights per distinct level, ascending level order
+        (as produced by :func:`sorted_group_sums`).
+
+    Returns
+    -------
+    ndarray of bool, shape (G,)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> best_cat_subset(np.array([0.5, -1.0, 0.25])).tolist()
+    [True, False, True]
+    >>> best_cat_subset(np.array([-2.0, -0.5, -0.5])).tolist()
+    [False, True, False]
+    """
+    sums = np.asarray(group_sums, dtype=float)
+    selected = sums > 0.0
+    if not selected.any():
+        selected = np.zeros(len(sums), dtype=bool)
+        selected[int(np.argmax(sums))] = True
+    return selected
+
+
 class SortedDataset:
     """Per-column sorted index of one ``(x, y)`` dataset, built once.
 
@@ -433,6 +520,14 @@ class SortedDataset:
         # non-finite values fall on the same side.
         outside = ~((self.x[:, restricted] >= box.lower[restricted])
                     & (self.x[:, restricted] <= box.upper[restricted]))
+        if getattr(box, "cats", None) is not None:
+            # Categorically restricted columns carry -inf/+inf numeric
+            # bounds, so the interval pass above leaves them all-inside;
+            # overwrite with the shared set-membership mask.
+            for i, d in enumerate(restricted):
+                allowed = box.cats[d]
+                if allowed is not None:
+                    outside[:, i] = ~cat_mask(self.x[:, d], allowed)
         violations = outside.sum(axis=1)
         no_violation = violations == 0
         only_violation = violations == 1
@@ -446,16 +541,14 @@ class SortedDataset:
 
         return mask_for
 
-    def interval_bounds(self, j: int,
-                        mask: np.ndarray) -> tuple[float, float] | None:
-        """Best-WRAcc interval of column ``j`` over the rows in ``mask``.
+    def _filtered_groups(self, j: int, mask: np.ndarray):
+        """``(group_values, group_sums)`` of column ``j`` over ``mask``.
 
-        The sort-free core of one BestInterval refinement: filter the
-        pre-sorted column, group equal values, and run the max-sum-run
-        search over the per-group weight sums.  Returns the
-        ``(lower, upper)`` bounds with ``-inf``/``+inf`` when the
-        winning run touches the data extremes, or ``None`` when the
-        mask selects no rows (the caller keeps the box unchanged).
+        Filter the pre-sorted column by the membership mask, then group
+        equal values — bit-identical to re-sorting the subset (stable
+        sort of a subset equals the subset of the stable sort), shared
+        by the interval and categorical refinements.  Returns ``None``
+        when the mask selects no rows.
         """
         keep = np.flatnonzero(mask[self.order[:, j]])
         if len(keep) == 0:
@@ -469,17 +562,53 @@ class SortedDataset:
             # All values distinct (the common continuous-data case):
             # every point is its own group, so the group-reduce is the
             # identity and the whole grouping pass can be skipped.
-            group_sums = weights
-            group_values = vals
-        else:
-            group_ids = np.cumsum(boundaries) - 1
-            group_sums = np.bincount(group_ids, weights=weights)
-            group_values = vals[boundaries]
+            return vals, weights
+        group_ids = np.cumsum(boundaries) - 1
+        group_sums = np.bincount(group_ids, weights=weights)
+        return vals[boundaries], group_sums
+
+    def interval_bounds(self, j: int,
+                        mask: np.ndarray) -> tuple[float, float] | None:
+        """Best-WRAcc interval of column ``j`` over the rows in ``mask``.
+
+        The sort-free core of one BestInterval refinement: filter the
+        pre-sorted column, group equal values, and run the max-sum-run
+        search over the per-group weight sums.  Returns the
+        ``(lower, upper)`` bounds with ``-inf``/``+inf`` when the
+        winning run touches the data extremes, or ``None`` when the
+        mask selects no rows (the caller keeps the box unchanged).
+        """
+        groups = self._filtered_groups(j, mask)
+        if groups is None:
+            return None
+        group_values, group_sums = groups
         start, end, _ = max_sum_run(group_sums)
         lower = -np.inf if start == 0 else float(group_values[start])
         upper = (np.inf if end == len(group_values) - 1
                  else float(group_values[end]))
         return lower, upper
+
+    def cat_allowed(self, j: int, mask: np.ndarray):
+        """Best-WRAcc category subset of column ``j`` over ``mask``.
+
+        The categorical counterpart of :meth:`interval_bounds`: group
+        the filtered column's codes and hand the per-level weight sums
+        to :func:`best_cat_subset`.  Returns ``None`` when the mask
+        selects no rows (box unchanged), the empty tuple ``()`` when
+        every observed level is selected (the dimension becomes
+        unrestricted — the analogue of a winning run touching both data
+        extremes), else the ascending tuple of allowed codes.  The
+        non-empty-subgroup guarantee of :func:`best_cat_subset` means a
+        genuine restriction is never encoded as ``()``.
+        """
+        groups = self._filtered_groups(j, mask)
+        if groups is None:
+            return None
+        group_values, group_sums = groups
+        selected = best_cat_subset(group_sums)
+        if selected.all():
+            return ()
+        return tuple(float(v) for v in group_values[selected])
 
 
 #: Boolean-element budget per chunk of the batched membership kernel
@@ -513,6 +642,7 @@ def contains_many(boxes, x: np.ndarray) -> np.ndarray:
     # striding through C-order rows, for one cheap copy).
     x = np.asfortranarray(x, dtype=float)
     n, dim = x.shape
+    boxes = list(boxes)
     n_boxes = len(boxes)
     out = np.empty((n_boxes, n), dtype=bool)
     if n_boxes == 0:
@@ -528,6 +658,15 @@ def contains_many(boxes, x: np.ndarray) -> np.ndarray:
             column = x[:, j]
             inside &= column >= lo[:, j, None]
             inside &= column <= hi[:, j, None]
+        # Categorical restrictions (a minority of boxes in mixed runs)
+        # apply per box through the same shared membership helper as
+        # Hyperbox.contains, so batched rows stay bit-identical.
+        for offset in range(len(lo)):
+            cats = getattr(boxes[s + offset], "cats", None)
+            if cats is not None:
+                for j, allowed in enumerate(cats):
+                    if allowed is not None:
+                        inside[offset] &= cat_mask(x[:, j], allowed)
         out[s:s + chunk] = inside
     return out
 

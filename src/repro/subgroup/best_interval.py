@@ -34,11 +34,12 @@ import numpy as np
 
 from repro.subgroup._kernels import (
     SortedDataset,
+    best_cat_subset,
     contains_many,
     max_sum_run,
     sorted_group_sums,
 )
-from repro.subgroup.box import Hyperbox
+from repro.subgroup.box import Hyperbox, cat_mask
 
 __all__ = ["BIResult", "BI_ENGINES", "best_interval", "best_interval_for_dim",
            "wracc"]
@@ -95,13 +96,18 @@ def best_interval_for_dim(
     box: Hyperbox,
     dim: int,
     base_rate: float | None = None,
+    categorical: bool = False,
 ) -> Hyperbox:
-    """Exact best re-optimisation of one dimension's interval.
+    """Exact best re-optimisation of one dimension's restriction.
 
     The ``RefineInterval`` subroutine of Algorithm 3: considers the
     points inside ``box`` on every *other* dimension and finds the
     closed interval of ``x[:, dim]`` values maximising WRAcc with
-    respect to the full dataset, in ``O(n log n)``.
+    respect to the full dataset, in ``O(n log n)``.  With
+    ``categorical=True`` the dimension's codes are treated as unordered
+    and the WRAcc-optimal *subset* of categories is selected instead
+    (every level with positive summed ``y - pi`` weight — the exact
+    unordered analogue of the max-sum run).
 
     Parameters
     ----------
@@ -110,24 +116,28 @@ def best_interval_for_dim(
     box:
         Current candidate box.
     dim:
-        Index of the input whose interval is re-optimised.
+        Index of the input whose restriction is re-optimised.
     base_rate:
         Precomputed ``pi = y.mean()``; ``None`` computes it here.
+    categorical:
+        Treat ``x[:, dim]`` as unordered category codes.
 
     Returns
     -------
     Hyperbox
         The refined box — possibly wider than the current one, or fully
-        unrestricted on ``dim`` if no interval beats covering everything.
+        unrestricted on ``dim`` if no interval (or category subset)
+        beats covering everything.
     """
     y = np.asarray(y, dtype=float)
     if base_rate is None:
         base_rate = float(y.mean())
-    return _refine_reference(x, y, box, dim, base_rate)
+    return _refine_reference(x, y, box, dim, base_rate, categorical)
 
 
 def _refine_reference(x: np.ndarray, y: np.ndarray, box: Hyperbox,
-                      dim: int, base_rate: float) -> Hyperbox:
+                      dim: int, base_rate: float,
+                      categorical: bool = False) -> Hyperbox:
     """One refinement through the original re-sorting code path."""
     mask = _contains_except(x, box, dim)
     if not mask.any():
@@ -136,9 +146,19 @@ def _refine_reference(x: np.ndarray, y: np.ndarray, box: Hyperbox,
     values = x[mask, dim]
     weights = y[mask] - base_rate  # per-point WRAcc contribution * N
 
-    # Group equal values: an interval either includes all points with a
-    # value or none of them.
+    # Group equal values: an interval (or category subset) either
+    # includes all points with a value or none of them.
     group_values, group_sums = sorted_group_sums(values, weights)
+
+    if categorical:
+        # Unordered codes: the optimal subset is every level with a
+        # positive weight sum; selecting all observed levels means the
+        # dimension carries no information and becomes unrestricted.
+        selected = best_cat_subset(group_sums)
+        if selected.all():
+            return box.with_cats(dim, None)
+        return box.with_cats(
+            dim, tuple(float(v) for v in group_values[selected]))
 
     start, end, _ = max_sum_run(group_sums)
     lower = float(group_values[start])
@@ -156,22 +176,29 @@ def _contains_except(x: np.ndarray, box: Hyperbox, skip_dim: int) -> np.ndarray:
     for j in box.restricted_dims:
         if j == skip_dim:
             continue
-        mask &= (x[:, j] >= box.lower[j]) & (x[:, j] <= box.upper[j])
+        allowed = box.cat_restriction(j)
+        if allowed is not None:
+            mask &= cat_mask(x[:, j], allowed)
+        else:
+            mask &= (x[:, j] >= box.lower[j]) & (x[:, j] <= box.upper[j])
     return mask
 
 
 class _ReferenceRefiner:
     """Per-call masking/re-sorting engine (the original code path)."""
 
-    def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float) -> None:
+    def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float,
+                 cat_cols: frozenset = frozenset()) -> None:
         self.x = x
         self.y = y
         self.base_rate = base_rate
         self.dim = x.shape[1]
+        self.cat_cols = cat_cols
 
     def refinements(self, box: Hyperbox):
         for j in range(self.dim):
-            yield _refine_reference(self.x, self.y, box, j, self.base_rate)
+            yield _refine_reference(self.x, self.y, box, j, self.base_rate,
+                                    categorical=j in self.cat_cols)
 
     def score(self, pending: dict) -> dict:
         return {key: (box, wracc(box, self.x, self.y, self.base_rate))
@@ -182,10 +209,13 @@ class _VectorizedRefiner:
     """Sort-once engine: shared column index, memoized refinements,
     incremental candidate scoring."""
 
-    def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float) -> None:
+    def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float,
+                 cat_cols: frozenset = frozenset()) -> None:
         self.dataset = SortedDataset(x, y, base_rate)
         self.binary = bool(np.all((y == 0.0) | (y == 1.0)))
         self.positives = (y == 1.0) if self.binary else None
+        self.cat_cols = cat_cols
+        self._no_cats = (None,) * x.shape[1]
         # Surviving beam boxes are re-refined on every iteration, and a
         # refinement only depends on the bounds of the *other*
         # dimensions (the refined dimension's interval is recomputed
@@ -204,23 +234,33 @@ class _VectorizedRefiner:
         self._pending_masks: dict[tuple, tuple[np.ndarray, int]] = {}
 
     def refinements(self, box: Hyperbox):
-        lower_key, upper_key = box.key()
+        lower_key, upper_key, cats_key = box.key()
+        if cats_key is None:
+            cats_key = self._no_cats
         mask_for = None
         for j in range(self.dataset.dim):
             footprint = (lower_key[:j] + lower_key[j + 1:],
-                         upper_key[:j] + upper_key[j + 1:], j)
-            if footprint in self.memo:
-                bounds = self.memo[footprint]
-                refined = (box if bounds is None
-                           else box.replace(j, lower=bounds[0], upper=bounds[1]))
-            else:
+                         upper_key[:j] + upper_key[j + 1:],
+                         cats_key[:j] + cats_key[j + 1:], j)
+            fresh = footprint not in self.memo
+            if fresh:
                 if mask_for is None:
                     mask_for = self.dataset.except_masks(box)
                 mask = mask_for(j)
-                bounds = self.dataset.interval_bounds(j, mask)
-                self.memo[footprint] = bounds
-                refined = (box if bounds is None
-                           else box.replace(j, lower=bounds[0], upper=bounds[1]))
+                if j in self.cat_cols:
+                    # None = no rows (box unchanged); () = every level
+                    # selected (unrestricted); tuple = allowed codes.
+                    self.memo[footprint] = self.dataset.cat_allowed(j, mask)
+                else:
+                    self.memo[footprint] = self.dataset.interval_bounds(j, mask)
+            result = self.memo[footprint]
+            if result is None:
+                refined = box
+            elif j in self.cat_cols:
+                refined = box.with_cats(j, None if result == () else result)
+            else:
+                refined = box.replace(j, lower=result[0], upper=result[1])
+            if fresh:
                 key = refined.key()
                 if key not in self._pending_masks:
                     self._pending_masks[key] = (mask, j)
@@ -255,8 +295,12 @@ class _VectorizedRefiner:
         else:
             except_mask, j = stashed
             column = dataset.columns[:, j]
-            inside = except_mask & (column >= box.lower[j])
-            inside &= column <= box.upper[j]
+            allowed = box.cat_restriction(j)
+            if allowed is not None:
+                inside = except_mask & cat_mask(column, allowed)
+            else:
+                inside = except_mask & (column >= box.lower[j])
+                inside &= column <= box.upper[j]
         n = int(np.count_nonzero(inside))
         if n == 0:
             return 0.0
@@ -277,6 +321,7 @@ def best_interval(
     beam_size: int = 1,
     max_iterations: int = 50,
     engine: str = "vectorized",
+    cat_cols=(),
 ) -> BIResult:
     """Algorithm 3: beam search with exact one-dimensional refinements.
 
@@ -296,6 +341,12 @@ def best_interval(
         scoring; ``"reference"`` keeps the original per-call re-sorting
         loops.  Both return identical results bit for bit (see
         ``tests/test_bi_equivalence.py``).
+    cat_cols:
+        Column indices holding categorical codes.  Refining such a
+        dimension selects the WRAcc-optimal unordered *subset* of its
+        categories (every level with positive summed ``y - pi`` weight)
+        instead of an interval; the refined boxes carry category sets
+        (:attr:`Hyperbox.cats`) on these columns.
 
     Returns
     -------
@@ -313,12 +364,17 @@ def best_interval(
         raise ValueError(f"beam_size must be >= 1, got {beam_size}")
     if engine not in BI_ENGINES:
         raise ValueError(f"engine must be one of {BI_ENGINES}, got {engine!r}")
+    cat_cols = frozenset(int(c) for c in cat_cols)
+    if any(c < 0 or c >= x.shape[1] for c in cat_cols):
+        raise ValueError(f"cat_cols out of range for {x.shape[1]} columns: "
+                         f"{sorted(cat_cols)}")
 
     dim = x.shape[1]
     max_restricted = dim if depth is None else max(1, depth)
     base_rate = float(y.mean())
-    refiner = (_VectorizedRefiner(x, y, base_rate) if engine == "vectorized"
-               else _ReferenceRefiner(x, y, base_rate))
+    refiner = (_VectorizedRefiner(x, y, base_rate, cat_cols)
+               if engine == "vectorized"
+               else _ReferenceRefiner(x, y, base_rate, cat_cols))
 
     start = Hyperbox.unrestricted(dim)
     beam: dict[tuple, tuple[Hyperbox, float]] = {start.key(): (start, 0.0)}

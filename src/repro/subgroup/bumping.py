@@ -11,6 +11,7 @@ is the "last box".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -121,6 +122,51 @@ def _pareto_front_2d(points: np.ndarray) -> np.ndarray:
     return np.nonzero(keep)[0]
 
 
+def _embed_box(small_box: Hyperbox, subset: np.ndarray, dim: int) -> Hyperbox:
+    """Embed a box over the feature subset back into the full space."""
+    lower = np.full(dim, -np.inf)
+    upper = np.full(dim, np.inf)
+    lower[subset] = small_box.lower
+    upper[subset] = small_box.upper
+    cats = None
+    if small_box.cats is not None:
+        full: list[frozenset | None] = [None] * dim
+        for i, d in enumerate(subset):
+            full[int(d)] = small_box.cats[i]
+        if any(c is not None for c in full):
+            cats = tuple(full)
+    return Hyperbox(lower, upper, cats)
+
+
+def _bumping_chunk(context: dict, start: int, stop: int) -> list[Hyperbox]:
+    """Run bumping repeats ``[start, stop)`` and pool their boxes.
+
+    Module-level so :func:`repro.experiments.parallel.run_chunked` can
+    fan repeats out over worker processes: the repeat randomness
+    (bootstrap rows, feature subsets) is pre-drawn in the parent and
+    shipped through the shared-memory data plane, so every repeat does
+    identical work wherever it runs.
+    """
+    x, y = context["x"], context["y"]
+    samples, subsets = context["samples"], context["subsets"]
+    cat_cols = frozenset(context["cat_cols"])
+    dim = x.shape[1]
+    boxes: list[Hyperbox] = []
+    for r in range(start, stop):
+        sample = samples[r]
+        subset = subsets[r]
+        local_cats = tuple(
+            i for i, d in enumerate(subset) if int(d) in cat_cols)
+        result = prim_peel(
+            x[np.ix_(sample, subset)], y[sample],
+            alpha=context["alpha"], min_support=context["min_support"],
+            engine=context["engine"], cat_cols=local_cats,
+        )
+        boxes.extend(
+            _embed_box(small_box, subset, dim) for small_box in result.boxes)
+    return boxes
+
+
 def prim_bumping(
     x: np.ndarray,
     y: np.ndarray,
@@ -133,6 +179,9 @@ def prim_bumping(
     y_val: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
     engine: str = "vectorized",
+    cat_cols: Sequence[int] = (),
+    jobs: int | None = 1,
+    chunk_repeats: int | None = None,
 ) -> BumpingResult:
     """Algorithm 2: bootstrap + random feature subsets + Pareto filter.
 
@@ -154,6 +203,23 @@ def prim_bumping(
         Source of bootstrap/subset randomness (fresh default if None).
     engine:
         Peeling engine of the inner PRIM runs (see :func:`prim_peel`).
+    cat_cols:
+        Column indices of categorical inputs (full-space indices).
+        Inner PRIM runs peel those columns category-wise; repeats whose
+        random feature subset hits a categorical column remap it to the
+        subset-local index and the resulting category restrictions are
+        embedded back into the full space.
+    jobs:
+        Worker processes (None = all CPUs, default 1) for the
+        ``n_repeats`` independent PRIM runs.  The bootstrap/subset draws
+        happen up front in the parent — one rng stream regardless of
+        scheduling — so the pooled box set, and hence the returned
+        Pareto front, is bit-identical for every ``jobs`` /
+        ``chunk_repeats`` setting (pinned by
+        ``tests/test_budget_fanout.py``).
+    chunk_repeats:
+        Repeats per fan-out chunk (default: one contiguous chunk per
+        worker).
 
     Returns
     -------
@@ -176,22 +242,29 @@ def prim_bumping(
 
     n, dim = x.shape
     m = dim if n_features is None else min(max(n_features, 1), dim)
+    cat_set = frozenset(int(c) for c in cat_cols)
+    if not all(0 <= c < dim for c in cat_set):
+        raise ValueError(f"cat_cols must lie in [0, {dim}), got {sorted(cat_set)}")
 
-    all_boxes: list[Hyperbox] = []
-    for _ in range(n_repeats):
-        sample = rng.integers(0, n, size=n)
-        subset = np.sort(rng.choice(dim, size=m, replace=False))
-        result = prim_peel(
-            x[np.ix_(sample, subset)], y[sample],
-            alpha=alpha, min_support=min_support, engine=engine,
-        )
-        for small_box in result.boxes:
-            # Embed the m-dimensional box back into the full space.
-            lower = np.full(dim, -np.inf)
-            upper = np.full(dim, np.inf)
-            lower[subset] = small_box.lower
-            upper[subset] = small_box.upper
-            all_boxes.append(Hyperbox(lower, upper))
+    # Draw every repeat's randomness up front, in the exact order the
+    # historical sequential loop consumed the stream (rows, then
+    # subset, per repeat) — the fan-out below then cannot perturb it.
+    samples = np.empty((n_repeats, n), dtype=np.int64)
+    subsets = np.empty((n_repeats, m), dtype=np.int64)
+    for r in range(n_repeats):
+        samples[r] = rng.integers(0, n, size=n)
+        subsets[r] = np.sort(rng.choice(dim, size=m, replace=False))
+
+    from repro.experiments.parallel import run_chunked
+
+    chunks = run_chunked(
+        _bumping_chunk, n_repeats,
+        jobs=jobs, chunk_rows=chunk_repeats,
+        context=dict(alpha=alpha, min_support=min_support, engine=engine,
+                     cat_cols=tuple(sorted(cat_set))),
+        shared=dict(x=x, y=y, samples=samples, subsets=subsets),
+    )
+    all_boxes: list[Hyperbox] = [box for chunk in chunks for box in chunk]
 
     # Precision/recall of every pooled box in one batched kernel call
     # (bit-identical to mapping _precision_recall over the boxes).

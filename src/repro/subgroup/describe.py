@@ -16,7 +16,7 @@ import numpy as np
 from repro.subgroup.box import Hyperbox
 
 __all__ = ["describe_box", "describe_trajectory", "box_to_dict",
-           "summarize_box", "BoxSummary"]
+           "box_from_dict", "summarize_box", "BoxSummary"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,8 @@ def describe_box(
     >>> box = Hyperbox.unrestricted(3).replace(0, lower=0.2, upper=0.6)
     >>> describe_box(box.replace(2, upper=0.5), input_names=["rain", "temp", "cost"])
     'IF 0.2 <= rain <= 0.6 AND cost <= 0.5 THEN y = 1'
+    >>> describe_box(box.with_cats(1, {0.0, 2.0}), input_names=["rain", "mode", "cost"])
+    'IF 0.2 <= rain <= 0.6 AND mode in {0, 2} THEN y = 1'
     """
     names = input_names or [f"a{j + 1}" for j in range(box.dim)]
     if len(names) != box.dim:
@@ -105,6 +107,13 @@ def describe_box(
 
     conditions = []
     for j in box.restricted_dims:
+        allowed = box.cat_restriction(j)
+        if allowed is not None:
+            # Category codes are nominal identifiers, never unit-cube
+            # coordinates, so domain scaling does not apply to them.
+            codes = ", ".join(f"{c:g}" for c in sorted(allowed))
+            conditions.append(f"{names[j]} in {{{codes}}}")
+            continue
         has_lower = np.isfinite(lower[j])
         has_upper = np.isfinite(upper[j])
         if has_lower and has_upper:
@@ -152,12 +161,22 @@ def describe_trajectory(
 
 
 def box_to_dict(box: Hyperbox, *, input_names: list[str] | None = None) -> dict:
-    """JSON-compatible export: restricted dims with their bounds."""
+    """JSON-compatible export: restricted dims with their restrictions.
+
+    Numeric restrictions export ``lower``/``upper`` (``None`` for an
+    unbounded side); categorical restrictions export ``categories``, the
+    ascending list of allowed codes.  :func:`box_from_dict` inverts the
+    export exactly.
+    """
     names = input_names or [f"a{j + 1}" for j in range(box.dim)]
     if len(names) != box.dim:
         raise ValueError(f"need {box.dim} input names, got {len(names)}")
     restrictions = {}
     for j in box.restricted_dims:
+        allowed = box.cat_restriction(j)
+        if allowed is not None:
+            restrictions[names[j]] = {"categories": sorted(allowed)}
+            continue
         restrictions[names[j]] = {
             "lower": float(box.lower[j]) if np.isfinite(box.lower[j]) else None,
             "upper": float(box.upper[j]) if np.isfinite(box.upper[j]) else None,
@@ -167,3 +186,52 @@ def box_to_dict(box: Hyperbox, *, input_names: list[str] | None = None) -> dict:
         "n_restricted": box.n_restricted,
         "restrictions": restrictions,
     }
+
+
+def box_from_dict(data: dict, *, input_names: list[str] | None = None) -> Hyperbox:
+    """Rebuild a :class:`Hyperbox` from a :func:`box_to_dict` export.
+
+    Parameters
+    ----------
+    data : dict
+        A mapping with ``dim`` and ``restrictions`` keys as produced by
+        :func:`box_to_dict`.
+    input_names : list of str, optional
+        The same names the export was made with; defaults to the
+        generic ``a1..aM``.
+
+    Returns
+    -------
+    Hyperbox
+        A box whose :meth:`~repro.subgroup.box.Hyperbox.key` equals the
+        exported box's key (the describe/restrict round-trip pinned by
+        ``tests/test_categorical.py``).
+
+    Examples
+    --------
+    >>> from repro.subgroup.box import Hyperbox
+    >>> box = Hyperbox.unrestricted(2).replace(0, lower=0.25).with_cats(1, {1.0})
+    >>> box_from_dict(box_to_dict(box)).key() == box.key()
+    True
+    """
+    dim = int(data["dim"])
+    names = input_names or [f"a{j + 1}" for j in range(dim)]
+    if len(names) != dim:
+        raise ValueError(f"need {dim} input names, got {len(names)}")
+    index_of = {name: j for j, name in enumerate(names)}
+    box = Hyperbox.unrestricted(dim)
+    for name, restriction in data["restrictions"].items():
+        j = index_of.get(name)
+        if j is None:
+            raise ValueError(f"unknown input name {name!r}")
+        if "categories" in restriction:
+            box = box.with_cats(j, restriction["categories"])
+            continue
+        lower = restriction.get("lower")
+        upper = restriction.get("upper")
+        box = box.replace(
+            j,
+            lower=-np.inf if lower is None else float(lower),
+            upper=np.inf if upper is None else float(upper),
+        )
+    return box

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.subgroup import _kernels
-from repro.subgroup.box import Hyperbox
+from repro.subgroup.box import Hyperbox, cat_mask
 
 __all__ = ["PRIMResult", "prim_peel", "OBJECTIVES", "ENGINES"]
 
@@ -89,6 +89,7 @@ def prim_peel(
     paste: bool = False,
     objective: str = "mean",
     engine: str = "vectorized",
+    cat_cols=(),
 ) -> PRIMResult:
     """Run one PRIM peeling (and optionally pasting) pass.
 
@@ -113,6 +114,13 @@ def prim_peel(
         ``"vectorized"`` (sort-once/prefix-sum kernel, the default) or
         ``"reference"`` (per-candidate masking); both return identical
         results.
+    cat_cols:
+        Column indices holding categorical codes.  Those dimensions
+        peel one category at a time — one candidate per removable level,
+        the classic Friedman & Fisher categorical rule — and pasting
+        re-admits one category at a time; the resulting boxes carry
+        category sets (:attr:`Hyperbox.cats`) instead of interval
+        bounds on these columns.
 
     Returns
     -------
@@ -143,6 +151,10 @@ def prim_peel(
     else:
         x_val = np.asarray(x_val, dtype=float)
         y_val = np.asarray(y_val, dtype=float)
+    cat_cols = frozenset(int(c) for c in cat_cols)
+    if any(c < 0 or c >= x.shape[1] for c in cat_cols):
+        raise ValueError(f"cat_cols out of range for {x.shape[1]} columns: "
+                         f"{sorted(cat_cols)}")
 
     dim = x.shape[1]
     box = Hyperbox.unrestricted(dim)
@@ -158,20 +170,30 @@ def prim_peel(
     total_n = len(y)
     peeler = (None if engine == "reference" else
               _kernels.VectorizedPeeler(x, y, alpha, objective,
-                                        total_mean, total_n))
+                                        total_mean, total_n,
+                                        cat_cols=cat_cols))
     while True:
         if peeler is None:
-            step = _best_peel(x, y, in_box, alpha, objective, total_mean, total_n)
+            step = _best_peel(x, y, in_box, alpha, objective, total_mean,
+                              total_n, cat_cols)
             new_in_box = None if step is None else in_box[step.keep_mask]
         else:
             step = peeler.best_peel()
             new_in_box = None if step is None else step.keep_rows
         if step is None:
             break
-        new_box = box.replace(step.dim, lower=step.new_lower, upper=step.new_upper)
-        # A peel only tightens one bound, and in_val already satisfies
-        # the current box, so one column comparison updates membership.
-        if step.new_lower is not None:
+        if step.new_cats is not None:
+            new_box = box.with_cats(step.dim, step.new_cats)
+        else:
+            new_box = box.replace(step.dim, lower=step.new_lower,
+                                  upper=step.new_upper)
+        # A peel only tightens one dimension, and in_val already
+        # satisfies the current box, so one column check updates
+        # membership (set membership for a categorical peel).
+        if step.new_cats is not None:
+            new_in_val = in_val[cat_mask(x_val[in_val, step.dim],
+                                         step.new_cats)]
+        elif step.new_lower is not None:
             new_in_val = in_val[x_val[in_val, step.dim] >= step.new_lower]
         else:
             new_in_val = in_val[x_val[in_val, step.dim] <= step.new_upper]
@@ -215,6 +237,7 @@ class _PeelStep:
     new_upper: float | None
     keep_mask: np.ndarray
     score: float
+    new_cats: tuple | None = None
 
 
 # Shared with the vectorized kernel so both engines score candidates
@@ -224,17 +247,19 @@ _peel_score = _kernels.peel_score
 
 def _best_peel(x: np.ndarray, y: np.ndarray, in_box: np.ndarray,
                alpha: float, objective: str = "mean",
-               total_mean: float = 0.0, total_n: int = 1) -> _PeelStep | None:
-    """The best-scoring candidate peel across all 2M faces, or None.
+               total_mean: float = 0.0, total_n: int = 1,
+               cat_cols: frozenset = frozenset()) -> _PeelStep | None:
+    """The best-scoring candidate peel across all faces, or None.
 
-    For each input, the candidate cuts remove the points below the
-    alpha-quantile or above the (1-alpha)-quantile of the in-box values
-    (ties at the quantile stay inside, as in the reference
+    For each numeric input, the candidate cuts remove the points below
+    the alpha-quantile or above the (1-alpha)-quantile of the in-box
+    values (ties at the quantile stay inside, as in the reference
     implementation).  When more than an alpha share of points ties at
     the extreme value — the discrete-input case — the cut falls back to
-    removing that entire level, the one-category-at-a-time peel of
-    Friedman & Fisher's categorical handling.  Candidates that remove
-    nothing or everything are invalid.
+    removing that entire level.  Inputs listed in ``cat_cols`` generate
+    one candidate per in-box category (ascending code order), each
+    removing that category — Friedman & Fisher's categorical peel.
+    Candidates that remove nothing or everything are invalid.
     """
     y_box = y[in_box]
     n = len(in_box)
@@ -242,6 +267,26 @@ def _best_peel(x: np.ndarray, y: np.ndarray, in_box: np.ndarray,
     best: _PeelStep | None = None
     for dim in range(x.shape[1]):
         values = x[in_box, dim]
+
+        if dim in cat_cols:
+            levels = np.unique(values)
+            if len(levels) < 2:
+                continue  # a single remaining level cannot be peeled
+            for code in levels:
+                keep = values != code
+                kept = int(keep.sum())
+                mean_after = float(y_box[keep].mean())
+                score = _peel_score(objective, mean_after, kept, n,
+                                    mean_before, total_mean, total_n)
+                if best is None or score > best.score:
+                    best = _PeelStep(
+                        dim=dim, new_lower=None, new_upper=None,
+                        keep_mask=keep, score=score,
+                        new_cats=tuple(float(lv) for lv in levels
+                                       if lv != code),
+                    )
+            continue
+
         low_q, high_q = np.quantile(values, (alpha, 1.0 - alpha))
 
         for is_lower, bound in ((True, low_q), (False, high_q)):
@@ -300,6 +345,20 @@ def _paste(x: np.ndarray, y: np.ndarray, box: Hyperbox, alpha: float,
         for dim in range(x.shape[1]):
             others = _contains_except(x, current, dim)
             values = x[:, dim]
+            allowed = current.cat_restriction(dim)
+            if allowed is not None:
+                # Categorical paste: one candidate per re-admittable
+                # category (present in the others-mask rows but not
+                # currently allowed), ascending code order.
+                excluded = others & ~cat_mask(values, allowed)
+                for code in np.unique(values[excluded]):
+                    candidate_box = current.with_cats(
+                        dim, allowed | {float(code)})
+                    mean = _mean(y[candidate_box.contains(x)])
+                    if mean > best_mean:
+                        best_mean = mean
+                        best_box = candidate_box
+                continue
             for side in ("lower", "upper"):
                 bound = current.lower[dim] if side == "lower" else current.upper[dim]
                 if not np.isfinite(bound):
@@ -330,10 +389,14 @@ def _paste(x: np.ndarray, y: np.ndarray, box: Hyperbox, alpha: float,
 
 
 def _contains_except(x: np.ndarray, box: Hyperbox, skip_dim: int) -> np.ndarray:
-    """Membership ignoring one dimension's bounds."""
+    """Membership ignoring one dimension's restriction."""
     mask = np.ones(len(x), dtype=bool)
     for j in box.restricted_dims:
         if j == skip_dim:
             continue
-        mask &= (x[:, j] >= box.lower[j]) & (x[:, j] <= box.upper[j])
+        allowed = box.cat_restriction(j)
+        if allowed is not None:
+            mask &= cat_mask(x[:, j], allowed)
+        else:
+            mask &= (x[:, j] >= box.lower[j]) & (x[:, j] <= box.upper[j])
     return mask

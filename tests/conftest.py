@@ -2,10 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.subgroup.box import Hyperbox
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # One fixed, derandomized profile so the property-based differential
+    # suite (tests/test_property_differential.py) is exactly as
+    # reproducible as the seeded tests: no flaky shrink sessions in CI,
+    # identical example streams everywhere.  Select explicitly with
+    # HYPOTHESIS_PROFILE=ci (the tier-1 workflow does); "dev" allows a
+    # larger budget for local exploration.
+    settings.register_profile(
+        "ci",
+        max_examples=25,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=100, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis always in requirements
+    pass
 
 
 @pytest.fixture

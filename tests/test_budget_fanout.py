@@ -13,6 +13,7 @@ from repro.metamodels.forest import RandomForestModel
 from repro.metrics.trajectory import peeling_trajectory
 from repro.subgroup._kernels import evaluate_boxes
 from repro.subgroup.box import Hyperbox
+from repro.subgroup.bumping import prim_bumping
 
 
 def _boxes(count: int, dim: int, rng: np.random.Generator) -> list:
@@ -87,6 +88,48 @@ class TestForestFitFanout:
         q = np.random.default_rng(7).random((100, 5))
         np.testing.assert_array_equal(serial.predict_proba(q),
                                       fanned.predict_proba(q))
+
+
+class TestBumpingFanout:
+    """The per-round bumping repeats fan out without changing a bit.
+
+    The repeat randomness (bootstrap rows, feature subsets) is drawn
+    up front from one rng stream, so scheduling cannot reorder it; the
+    pooled box set — and hence the Pareto front — must match the serial
+    loop exactly for every jobs/chunk setting.
+    """
+
+    def _assert_same(self, a, b):
+        assert [box.key() for box in a.boxes] == [box.key() for box in b.boxes]
+        np.testing.assert_array_equal(a.precisions, b.precisions)
+        np.testing.assert_array_equal(a.recalls, b.recalls)
+        assert a.chosen == b.chosen
+
+    def test_fanned_repeats_are_bit_identical(self):
+        x, y, _ = _dataset(300, 5)
+        runs = {}
+        for jobs, chunk in ((1, None), (2, None), (3, 2), (None, None)):
+            runs[(jobs, chunk)] = prim_bumping(
+                x, y, n_repeats=9, n_features=3,
+                rng=np.random.default_rng(21),
+                jobs=jobs, chunk_repeats=chunk)
+        serial = runs[(1, None)]
+        for key, fanned in runs.items():
+            self._assert_same(serial, fanned)
+
+    def test_categorical_repeats_fan_out_identically(self):
+        rng = np.random.default_rng(8)
+        x = rng.random((350, 4))
+        x[:, 3] = np.floor(x[:, 3] * 3)
+        y = ((x[:, 0] > 0.4) & (x[:, 3] != 1.0)).astype(float)
+        serial = prim_bumping(x, y, n_repeats=8, n_features=3,
+                              rng=np.random.default_rng(4),
+                              cat_cols=(3,), jobs=1)
+        fanned = prim_bumping(x, y, n_repeats=8, n_features=3,
+                              rng=np.random.default_rng(4),
+                              cat_cols=(3,), jobs=2, chunk_repeats=3)
+        self._assert_same(serial, fanned)
+        assert any(box.cat_restriction(3) is not None for box in serial.boxes)
 
 
 def _step_oracle(x: np.ndarray) -> np.ndarray:

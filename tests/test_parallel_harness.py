@@ -17,9 +17,18 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core.methods import discover
 from repro.experiments import parallel
 from repro.experiments.dataplane import active_segments
-from repro.experiments.harness import get_test_data, run_batch, run_third_party
+from repro.experiments.harness import (
+    evaluate_boxes as harness_evaluate_boxes,
+    get_test_data,
+    run_batch,
+    run_third_party,
+)
+from repro.metrics.trajectory import peeling_trajectory
+from repro.subgroup import Hyperbox
+from repro.subgroup._kernels import evaluate_boxes as kernel_evaluate_boxes
 
 
 def assert_records_identical(serial, parallel_records):
@@ -551,3 +560,79 @@ class TestTestDataCache:
             get_test_data("ishigami", "continuous", size)
         info = get_test_data.cache_info()
         assert info.currsize <= info.maxsize
+
+
+class TestDegenerateFanoutInputs:
+    """Degenerate inputs through the fanned-out evaluation paths.
+
+    Empty box lists, single-row test sets and constant labels must all
+    produce the same well-defined answer under every jobs/chunk
+    setting — the fan-out machinery may never turn an edge case into a
+    shape error or a divergence from the serial loop.
+    """
+
+    def _planted(self, n, seed=0, y_const=None):
+        gen = np.random.default_rng(seed)
+        x = gen.random((n, 3))
+        if y_const is None:
+            y = ((x[:, 0] > 0.3) & (x[:, 1] < 0.7)).astype(float)
+        else:
+            y = np.full(n, float(y_const))
+        return x, y
+
+    def _boxes(self):
+        return [
+            Hyperbox.unrestricted(3),
+            Hyperbox.unrestricted(3).replace(0, lower=0.3, upper=np.inf)
+            .replace(1, lower=-np.inf, upper=0.7),
+        ]
+
+    def test_empty_box_list(self):
+        x, y = self._planted(40)
+        for kwargs in (dict(jobs=1), dict(jobs=4), dict(jobs=3, chunk_boxes=2)):
+            trajectory = peeling_trajectory([], x, y, **kwargs)
+            assert trajectory.shape == (0, 2)
+        for jobs in (1, 4):
+            evaluation = kernel_evaluate_boxes([], x, y, jobs=jobs)
+            assert evaluation.masks.shape == (0, len(x))
+            assert evaluation.n_inside.shape == (0,)
+            assert evaluation.n_total == len(x)
+            assert evaluation.base_rate == y.mean()
+
+    def test_single_row(self):
+        x, y = self._planted(1, seed=3)
+        boxes = self._boxes()
+        serial = peeling_trajectory(boxes, x, y, jobs=1)
+        np.testing.assert_array_equal(
+            serial, peeling_trajectory(boxes, x, y, jobs=4, chunk_boxes=1))
+        a = kernel_evaluate_boxes(boxes, x, y, jobs=1)
+        b = kernel_evaluate_boxes(boxes, x, y, jobs=4)
+        np.testing.assert_array_equal(a.n_inside, b.n_inside)
+        np.testing.assert_array_equal(a.y_means, b.y_means)
+
+    @pytest.mark.parametrize("y_const", [0.0, 1.0])
+    def test_all_identical_labels(self, y_const):
+        x, y = self._planted(60, seed=5, y_const=y_const)
+        boxes = self._boxes()
+        serial = peeling_trajectory(boxes, x, y, jobs=1)
+        for kwargs in (dict(jobs=4), dict(jobs=2, chunk_boxes=1)):
+            np.testing.assert_array_equal(
+                serial, peeling_trajectory(boxes, x, y, **kwargs))
+        a = kernel_evaluate_boxes(boxes, x, y, jobs=1)
+        b = kernel_evaluate_boxes(boxes, x, y, jobs=3, chunk_boxes=1)
+        np.testing.assert_array_equal(a.y_sums, b.y_sums)
+        assert a.base_rate == b.base_rate == y_const
+
+    def test_harness_evaluation_degenerate_test_sets(self):
+        x_train, y_train = self._planted(300, seed=9)
+        result = discover("P", x_train, y_train, seed=0)
+        for x_test, y_test in ((self._planted(1, seed=11)),
+                               (self._planted(50, seed=13, y_const=1.0))):
+            serial = harness_evaluate_boxes(
+                result, x_test, y_test, relevant=(0, 1), jobs=1)
+            fanned = harness_evaluate_boxes(
+                result, x_test, y_test, relevant=(0, 1), jobs=4)
+            np.testing.assert_array_equal(serial.pop("trajectory"),
+                                          fanned.pop("trajectory"))
+            assert serial == fanned
+            assert np.isfinite(serial["pr_auc"])
