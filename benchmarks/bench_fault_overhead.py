@@ -1,0 +1,98 @@
+"""Benchmark: cost of the fault-tolerant dispatch machinery.
+
+The robustness layer (retries, failure journalling, fault-injection
+guards) wraps every task dispatch, so its overhead must stay a
+bookkeeping term, not a tax on the science.  This benchmark runs one
+synthetic grid three ways, serially, and checks the results stay
+bit-identical:
+
+1. **fast** — ``retries=0``, no fault plan: the historical loop, no
+   guard code on the hot path;
+2. **guarded** — ``retries=1`` with every task succeeding: the tolerant
+   dispatcher is armed (attempt accounting, token derivation) but never
+   fires;
+3. **chaos** — a seeded ``REDS_FAULT_PLAN`` injecting worker crashes
+   and hangs, ``retries=3``: the grid rides out the faults and still
+   returns the fast path's results.
+
+The guarded/fast ratio is asserted under a deliberately generous
+ceiling (the guard is O(tasks) bookkeeping around O(task-cost) work);
+the chaos timing is recorded, not asserted — it measures injected
+faults plus backoff, not substrate overhead.  Machine-readable results
+land in ``benchmarks/results/BENCH_fault_overhead.json`` and are
+mirrored to the tracked repo-root ``results/``.
+"""
+
+import time
+
+import numpy as np
+
+from _common import best_of, emit, emit_json
+from repro.experiments import faults
+from repro.experiments.parallel import execute
+
+N_TASKS = 40
+SIZE = 20_000
+REPEATS = 3
+
+#: Generous ceiling on guarded/fast: the tolerant dispatcher must stay
+#: bookkeeping, not dominate trivially small tasks.
+GUARD_CEILING = 5.0
+
+CHAOS_PLAN = "seed=13,worker_crash=0.15,task_hang=0.15,hang_s=0.005"
+
+
+def _spin(value: int, size: int) -> float:
+    """A small deterministic numpy workload (~1 ms)."""
+    rng = np.random.default_rng(value)
+    data = rng.random(size)
+    return float(np.sort(data).sum())
+
+
+def test_fault_overhead(benchmark, monkeypatch):
+    tasks = [{"value": v, "size": SIZE} for v in range(N_TASKS)]
+
+    monkeypatch.delenv("REDS_FAULT_PLAN", raising=False)
+    fast_s, baseline = best_of(lambda: execute(_spin, tasks), REPEATS)
+    guarded_s, guarded = best_of(
+        lambda: execute(_spin, tasks, retries=1), REPEATS)
+    benchmark.pedantic(lambda: execute(_spin, tasks, retries=1),
+                       rounds=1, iterations=1)
+
+    monkeypatch.setenv("REDS_FAULT_PLAN", CHAOS_PLAN)
+    faults.clear_injection_log()
+    start = time.perf_counter()
+    chaos = execute(_spin, tasks, retries=3)
+    chaos_s = time.perf_counter() - start
+    injected = len(faults.injection_log())
+    monkeypatch.delenv("REDS_FAULT_PLAN")
+    faults.clear_injection_log()
+
+    assert guarded == baseline
+    assert chaos == baseline
+    assert injected > 0, "the chaos plan must actually fire"
+    ratio = guarded_s / fast_s
+    assert ratio < GUARD_CEILING, (
+        f"guarded dispatch is {ratio:.2f}x the fast path "
+        f"(ceiling {GUARD_CEILING}x)")
+
+    lines = [
+        f"fault-tolerance overhead ({N_TASKS} tasks, serial, "
+        f"best of {REPEATS})",
+        f"  {'fast path (retries=0)':<28} {fast_s * 1e3:>8.1f} ms",
+        f"  {'guarded (retries=1)':<28} {guarded_s * 1e3:>8.1f} ms  "
+        f"({ratio:.2f}x)",
+        f"  {'chaos ({} injections)'.format(injected):<28} "
+        f"{chaos_s * 1e3:>8.1f} ms  (crashes+hangs+backoff)",
+    ]
+    emit("fault_overhead", "\n".join(lines))
+    emit_json("BENCH_fault_overhead", {
+        "n_tasks": N_TASKS,
+        "fast_s": fast_s,
+        "guarded_s": guarded_s,
+        "guard_ratio": ratio,
+        "guard_ceiling": GUARD_CEILING,
+        "chaos_s": chaos_s,
+        "chaos_plan": CHAOS_PLAN,
+        "chaos_injections": injected,
+    })

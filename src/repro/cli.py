@@ -19,7 +19,12 @@ import numpy as np
 from repro.core.methods import discover as run_discover
 from repro.data import LEVER_MODELS, TABLE1, get_model
 from repro.experiments.harness import aggregate, get_test_data, run_batch
-from repro.experiments.parallel import EXECUTORS, parse_shard
+from repro.experiments.parallel import (
+    EXECUTORS,
+    GridFailureError,
+    RetryPolicy,
+    parse_shard,
+)
 from repro.experiments.report import format_table
 from repro.experiments.store import open_store
 from repro.metrics import precision_recall, trajectory_of
@@ -55,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "stages — REDS pool labeling and metamodel "
                           "tuning folds (0 = all CPUs); results are "
                           "bit-identical at every setting")
+    one.add_argument("--retries", type=int, default=0,
+                     help="re-attempt a failed discovery up to this many "
+                          "extra times (exponential backoff)")
 
     many = sub.add_parser("compare", help="compare methods on one model")
     many.add_argument("--function", required=True)
@@ -84,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("--store", metavar="DIR", default=None,
                       help="persistent result store: finished grid cells "
                            "are cached there and re-used on the next run")
+    many.add_argument("--retries", type=int, default=0,
+                      help="re-attempt each failed grid cell up to this "
+                           "many extra times (exponential backoff, seeded "
+                           "jitter); cells that exhaust their budget are "
+                           "quarantined and summarised instead of killing "
+                           "the grid on first error")
+    many.add_argument("--task-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-cell wall-clock limit: a worker whose cell "
+                           "outlives it is killed, the pool respawned and "
+                           "the cell retried (needs --jobs > 1)")
     cache = many.add_mutually_exclusive_group()
     cache.add_argument("--resume", dest="resume", action="store_true",
                        default=True,
@@ -120,15 +139,29 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     print(f"{args.function}: {args.n} simulations, "
           f"{y.mean():.1%} interesting outcomes")
 
-    result = run_discover(
-        args.method, x, y,
-        seed=args.seed,
-        n_new=args.n_new,
-        tune_metamodel=not args.no_tune,
-        engine=args.engine,
-        jobs=args.jobs if args.jobs > 0 else None,
-        cat_levels=model.cat_levels_map or None,
-    )
+    policy = RetryPolicy(max_attempts=args.retries + 1)
+    attempt = 0
+    while True:
+        try:
+            result = run_discover(
+                args.method, x, y,
+                seed=args.seed,
+                n_new=args.n_new,
+                tune_metamodel=not args.no_tune,
+                engine=args.engine,
+                jobs=args.jobs if args.jobs > 0 else None,
+                cat_levels=model.cat_levels_map or None,
+            )
+            break
+        except Exception as exc:
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise
+            print(f"attempt {attempt} failed ({type(exc).__name__}: {exc}); "
+                  f"retrying", file=sys.stderr)
+            import time
+
+            time.sleep(policy.delay("cli-discover", attempt))
     x_test, y_test = get_test_data(args.function, size=args.test_size)
     _, auc = trajectory_of(result.boxes, x_test, y_test)
     precision, recall = precision_recall(result.chosen_box, x_test, y_test)
@@ -168,18 +201,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               "of --no-cache", file=sys.stderr)
         return 2
     store = open_store(args.store)
-    records = run_batch(
-        (args.function,), methods, args.n, args.reps,
-        n_new=args.n_new,
-        tune_metamodel=not args.no_tune,
-        test_size=args.test_size,
-        jobs=args.jobs if args.jobs > 0 else None,
-        store=store,
-        resume=args.resume,
-        engine=args.engine,
-        executor=args.executor,
-        shard=shard,
-    )
+    try:
+        records = run_batch(
+            (args.function,), methods, args.n, args.reps,
+            n_new=args.n_new,
+            tune_metamodel=not args.no_tune,
+            test_size=args.test_size,
+            jobs=args.jobs if args.jobs > 0 else None,
+            store=store,
+            resume=args.resume,
+            engine=args.engine,
+            executor=args.executor,
+            shard=shard,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+        )
+    except GridFailureError as exc:
+        # Everything that could complete did (and is in the store);
+        # report the casualties compactly instead of a raw traceback.
+        print(f"error: grid incomplete\n{exc.summary()}", file=sys.stderr)
+        if store is not None:
+            print(f"store {args.store}: {store.hits} cached, "
+                  f"{store.writes} computed; re-run to retry the "
+                  f"quarantined cells", file=sys.stderr)
+        return 1
     if store is not None:
         print(f"store {args.store}: {store.hits} cached, "
               f"{store.writes} computed")

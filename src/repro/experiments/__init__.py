@@ -10,6 +10,9 @@ broker that maps each plan's large read-only arrays zero-copy into
 worker processes; :mod:`repro.experiments.store` persists finished
 records in an on-disk content-addressed store (the ``store``/``resume``
 knobs) so grids are resumable, incremental and shardable;
+:mod:`repro.experiments.faults` is the deterministic fault-injection
+harness (``REDS_FAULT_PLAN``) behind the substrate's retry/timeout/
+degradation machinery — chaos tests replay bit-identically;
 :mod:`repro.experiments.design` holds the per-table/figure experiment
 configurations; :mod:`repro.experiments.report` renders the paper's
 table rows and figure series as text; :mod:`repro.experiments.stats`
@@ -36,12 +39,16 @@ from repro.experiments.dataplane import (
     dataplane_enabled,
 )
 from repro.experiments.design import BenchScale, scale_from_env, EXPERIMENTS
+from repro.experiments.faults import FaultPlan, InjectedFault, parse_fault_plan
 from repro.experiments.parallel import (
     EXECUTORS,
     ExecutionPlan,
+    GridFailureError,
     ProcessExecutor,
+    RetryPolicy,
     SerialExecutor,
     ShardedExecutor,
+    TaskFailure,
     compile_plan,
     default_jobs,
     execute,
@@ -77,11 +84,17 @@ __all__ = [
     "BenchScale",
     "scale_from_env",
     "EXPERIMENTS",
+    "FaultPlan",
+    "InjectedFault",
+    "parse_fault_plan",
     "EXECUTORS",
     "ExecutionPlan",
+    "GridFailureError",
     "ProcessExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "ShardedExecutor",
+    "TaskFailure",
     "compile_plan",
     "default_jobs",
     "execute",

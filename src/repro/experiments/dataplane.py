@@ -20,14 +20,22 @@ Design:
   scheme composes with the content-addressed experiment store of
   :mod:`repro.experiments.store` (both layers name immutable values by
   their content, never by their position in a run).
-* **Inline fallback.**  When shared memory is unavailable (exotic
-  platforms, or ``REDS_DATAPLANE=0``) refs simply carry the array
-  inline; everything still works, workers just pay the pickling cost the
-  plane exists to avoid.
+* **Inline fallback, also on failure.**  When shared memory is
+  unavailable (exotic platforms, ``REDS_DATAPLANE=0``, or a segment
+  allocation failing at runtime — ``/dev/shm`` full, permissions, an
+  injected ``shm_publish_fail`` fault) refs simply carry the array
+  inline; everything still works, workers just pay the pickling cost
+  the plane exists to avoid.  Publishing degrades with a logged
+  warning, it never crashes a run.
 * **Deterministic teardown.**  :meth:`DataPlane.unlink` removes every
   segment name on both clean and exceptional exits (the executors call
   it from ``finally`` blocks) and an ``atexit`` hook sweeps anything a
   crashed caller left behind, so no run leaks ``/dev/shm`` entries.
+  Segments leaked by a *SIGKILLed* prior run (no atexit ran) can be
+  collected at startup by :func:`sweep_orphan_segments`: segment names
+  embed the creating pid, so anything whose creator is no longer alive
+  is an orphan.  The sweep is opt-in via ``REDS_DATAPLANE_SWEEP=1``
+  because pid liveness is a heuristic (pids recycle).
 
 Worker-side attaches are cached per process and unregistered from the
 ``multiprocessing`` resource tracker: on Python < 3.13 an attaching
@@ -40,12 +48,16 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import logging
 import os
 import secrets
 import weakref
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
+
+from repro.experiments import faults
 
 try:  # pragma: no cover - import guard for exotic platforms
     from multiprocessing import shared_memory as _shm_module
@@ -59,7 +71,10 @@ __all__ = [
     "dataplane_enabled",
     "resolve_refs",
     "active_segments",
+    "sweep_orphan_segments",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Prefix of every segment name this module creates; tests (and humans
 #: inspecting /dev/shm) can recognise data-plane segments by it.
@@ -165,15 +180,29 @@ class DataPlane:
         self._handles: dict[str, object] = {}
         self._unlinked = False
         _PLANES.add(self)
+        global _SWEPT
+        if not _SWEPT and os.environ.get("REDS_DATAPLANE_SWEEP", "") == "1":
+            _SWEPT = True
+            sweep_orphan_segments(force=True)
 
     # ------------------------------------------------------------------
+    def _inline_ref(self, array: np.ndarray, key: str) -> ArrayRef:
+        data = array.copy()
+        data.setflags(write=False)
+        ref = ArrayRef(key=key, shape=array.shape,
+                       dtype=array.dtype.str, data=data)
+        self._segments[key] = ref
+        return ref
+
     def publish(self, array: np.ndarray, key: str | None = None) -> ArrayRef:
         """Place ``array`` in shared memory and return its ref.
 
         ``key`` defaults to :func:`content_key`; publishing a key this
         plane already holds returns the existing ref without touching
         the data (content addressing makes that safe).  With shared
-        memory disabled the ref carries a read-only copy inline.
+        memory disabled — or when allocating the segment fails — the
+        ref carries a read-only copy inline: publishing degrades, it
+        never raises for lack of shared memory.
         """
         if self._unlinked:
             raise RuntimeError("this data plane has been unlinked")
@@ -184,15 +213,17 @@ class DataPlane:
         if existing is not None:
             return existing
         if not dataplane_enabled():
-            data = array.copy()
-            data.setflags(write=False)
-            ref = ArrayRef(key=key, shape=array.shape,
-                           dtype=array.dtype.str, data=data)
-            self._segments[key] = ref
-            return ref
+            return self._inline_ref(array, key)
         name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(6)}"
-        segment = _shm_module.SharedMemory(
-            create=True, size=max(array.nbytes, 1), name=name)
+        try:
+            faults.maybe_inject("shm_publish_fail", key)
+            segment = _shm_module.SharedMemory(
+                create=True, size=max(array.nbytes, 1), name=name)
+        except (faults.InjectedFault, OSError) as exc:
+            logger.warning(
+                "shared-memory publish failed for %s (%s); degrading to an "
+                "inline ref", key[:12], exc)
+            return self._inline_ref(array, key)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         view[...] = array
         view.setflags(write=False)
@@ -257,6 +288,75 @@ class DataPlane:
             self.unlink()
         except Exception:
             pass
+
+
+#: Where POSIX shared memory shows up as files (Linux); the orphan sweep
+#: is a no-op on platforms without it.
+_SHM_ROOT = Path("/dev/shm")
+
+#: One sweep per process is enough; reset by tests.
+_SWEPT = False
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # Pid exists but we may not signal it (or the probe failed):
+        # err on the side of "alive" — never sweep a live run's data.
+        return True
+    return True
+
+
+def sweep_orphan_segments(*, force: bool = False) -> list[str]:
+    """Unlink data-plane segments whose creating process is dead.
+
+    Segment names embed the creator's pid
+    (``reds-dp-<pid>-<token>``); any segment under ``/dev/shm`` whose
+    pid no longer maps to a live process was leaked by a crashed or
+    SIGKILLed run — ``atexit`` never fired there — and is removed.
+    Segments of live processes (including this one) are never touched.
+
+    Gated by ``REDS_DATAPLANE_SWEEP=1`` unless ``force`` is given,
+    because pid liveness is a heuristic: a recycled pid makes a true
+    orphan look alive (it is then swept by a later run instead).
+
+    Returns
+    -------
+    list of str
+        The names of the segments that were removed.
+    """
+    if not force and os.environ.get("REDS_DATAPLANE_SWEEP", "") != "1":
+        return []
+    if not _SHM_ROOT.is_dir():  # pragma: no cover - non-Linux
+        return []
+    removed: list[str] = []
+    try:
+        entries = list(_SHM_ROOT.iterdir())
+    except OSError:  # pragma: no cover - /dev/shm unreadable
+        return []
+    for entry in entries:
+        name = entry.name
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        pid_text = name[len(SEGMENT_PREFIX):].split("-", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        pid = int(pid_text)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            entry.unlink()
+        except OSError:
+            continue
+        removed.append(name)
+    if removed:
+        logger.warning("swept %d orphan shared-memory segment(s) left by "
+                       "dead processes: %s", len(removed),
+                       ", ".join(sorted(removed)))
+    return removed
 
 
 def active_segments() -> list[str]:

@@ -1,0 +1,234 @@
+"""Deterministic fault injection for the execution substrate.
+
+This module is the chaos-engineering counterpart of the engine-equivalence
+discipline: instead of trusting that the retry/watchdog/degradation machinery
+in :mod:`repro.experiments.parallel` works, tests *inject* worker crashes,
+task hangs, torn store writes and shared-memory failures — reproducibly —
+and assert that grid results stay bit-identical to a fault-free run.
+
+Fault decisions are a pure function of ``(seed, point, token)``: the first
+eight bytes of ``sha256(f"{seed}:{point}:{token}")`` interpreted as a uniform
+draw in ``[0, 1)`` are compared against the configured rate for the point.
+Scheduling order, process identity and wall-clock time never enter the
+decision, so the same fault plan replays the same faults on every run.
+
+Injection points
+----------------
+``worker_crash``
+    The worker executing a task dies abruptly (``os._exit`` in a pool
+    worker, an :class:`InjectedFault` raised in-process) before any of the
+    task's work runs.
+``task_hang``
+    The task sleeps ``hang_s`` seconds before running normally.  Paired
+    with ``task_timeout`` this exercises the watchdog kill/respawn path.
+``store_write_torn``
+    A store record write persists a truncated payload (still atomically
+    renamed into place), simulating a SIGKILL mid-write surviving a crash
+    of the atomic-rename discipline.  Only a *resumed* run observes it.
+``shm_publish_fail``
+    Publishing an array to the shared-memory data plane fails; the plane
+    degrades to an inline (pickled) reference.
+
+Fault plans come from the ``REDS_FAULT_PLAN`` environment variable, a
+comma-separated ``key=value`` spec::
+
+    REDS_FAULT_PLAN="seed=42,worker_crash=0.2,task_hang=0.1,hang_s=0.2"
+
+Tokens for grid tasks embed the attempt number (``<key>#a<attempt>``), so a
+fault injected on attempt 0 is re-decided — independently — on attempt 1;
+a point with rate < 1 therefore cannot wedge a retried task forever.
+
+Nested fan-outs (e.g. chunked labeling inside a grid task) do **not**
+inject ``worker_crash``/``task_hang``: only the outermost task scope is
+fault-eligible, otherwise a nested chunk shared by every task would crash
+deterministically on every attempt of every task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "check",
+    "clear_injection_log",
+    "enabled",
+    "injection_log",
+    "maybe_inject",
+    "parse_fault_plan",
+    "task_scope",
+]
+
+#: Names of the supported injection points.
+FAULT_POINTS = ("worker_crash", "task_hang", "store_write_torn", "shm_publish_fail")
+
+#: Exit status used when a pool worker is crashed by ``worker_crash``.
+CRASH_EXIT_CODE = 73
+
+_TLS = threading.local()
+
+# Per-process record of fired injections, in decision order, for
+# determinism tests: same REDS_FAULT_PLAN -> same log.
+_LOG: list[tuple[str, str]] = []
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or fatal-exited) when a configured fault point fires."""
+
+    def __init__(self, point: str, token: str):
+        self.point = point
+        self.token = token
+        super().__init__(f"injected fault {point!r} at {token!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded specification of fault rates per injection point.
+
+    Examples
+    --------
+    >>> plan = parse_fault_plan("seed=7,worker_crash=1.0")
+    >>> plan.should_inject("worker_crash", "k#a0")
+    True
+    >>> plan.should_inject("task_hang", "k#a0")
+    False
+    """
+
+    seed: int = 0
+    rates: dict[str, float] = field(default_factory=dict)
+    hang_s: float = 0.2
+
+    def should_inject(self, point: str, token: str) -> bool:
+        """Deterministically decide whether ``point`` fires for ``token``."""
+        rate = self.rates.get(point, 0.0)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        digest = hashlib.sha256(f"{self.seed}:{point}:{token}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0**64
+        return draw < rate
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse a ``REDS_FAULT_PLAN`` spec string into a :class:`FaultPlan`.
+
+    >>> parse_fault_plan("seed=3,task_hang=0.5,hang_s=0.1").rates
+    {'task_hang': 0.5}
+    """
+    seed = 0
+    hang_s = 0.2
+    rates: dict[str, float] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, value = chunk.partition("=")
+        name = name.strip()
+        value = value.strip()
+        if name == "seed":
+            seed = int(value)
+        elif name == "hang_s":
+            hang_s = float(value)
+        elif name in FAULT_POINTS:
+            rate = float(value)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate for {name!r} must be in [0, 1], got {rate}")
+            rates[name] = rate
+        else:
+            raise ValueError(
+                f"unknown fault-plan key {name!r}; expected seed, hang_s or one of {FAULT_POINTS}"
+            )
+    return FaultPlan(seed=seed, rates=rates, hang_s=hang_s)
+
+
+@lru_cache(maxsize=8)
+def _plan_for_spec(spec: str) -> FaultPlan:
+    return parse_fault_plan(spec)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan configured via ``REDS_FAULT_PLAN``, or None when unset."""
+    spec = os.environ.get("REDS_FAULT_PLAN", "").strip()
+    if not spec:
+        return None
+    return _plan_for_spec(spec)
+
+
+def enabled() -> bool:
+    """True when a fault plan is active in this process."""
+    return active_plan() is not None
+
+
+def injection_log() -> tuple[tuple[str, str], ...]:
+    """Faults fired in this process so far, as ``(point, token)`` pairs."""
+    return tuple(_LOG)
+
+
+def clear_injection_log() -> None:
+    """Reset the per-process injection log (test isolation)."""
+    _LOG.clear()
+
+
+@contextmanager
+def task_scope(token: str) -> Iterator[bool]:
+    """Mark a dynamic extent as one fault-eligible task execution.
+
+    Yields True only for the *outermost* scope on the current thread:
+    nested fan-outs running inside a task share its fate instead of
+    injecting their own crashes (which, being keyed on chunk indices
+    shared by every task, would fire identically on every attempt).
+    """
+    depth = getattr(_TLS, "depth", 0)
+    _TLS.depth = depth + 1
+    try:
+        yield depth == 0
+    finally:
+        _TLS.depth = depth
+
+
+def check(point: str, token: str) -> bool:
+    """Decide-and-log: True when ``point`` fires for ``token``.
+
+    For callers that implement the fault themselves (e.g. the store's torn
+    write); has no side effect beyond appending to the injection log.
+    """
+    plan = active_plan()
+    if plan is None or not plan.should_inject(point, token):
+        return False
+    _LOG.append((point, token))
+    return True
+
+
+def maybe_inject(point: str, token: str) -> None:
+    """Fire ``point`` for ``token`` if the active plan says so.
+
+    ``worker_crash`` kills a pool worker with ``os._exit`` (the process
+    genuinely dies — no cleanup, no exception crosses the pipe) and raises
+    :class:`InjectedFault` when running in the dispatching process itself.
+    ``task_hang`` sleeps ``hang_s`` and returns — a hang alone never
+    changes results, only timing.  Other points raise
+    :class:`InjectedFault` for the caller to handle.
+    """
+    if not check(point, token):
+        return
+    if point == "worker_crash":
+        if multiprocessing.parent_process() is not None:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault(point, token)
+    if point == "task_hang":
+        plan = active_plan()
+        time.sleep(plan.hang_s if plan is not None else 0.0)
+        return
+    raise InjectedFault(point, token)

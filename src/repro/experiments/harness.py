@@ -362,6 +362,8 @@ def run_batch(
     engine: str = "vectorized",
     executor=None,
     shard=None,
+    retries: int = 0,
+    task_timeout: float | None = None,
 ) -> list[RunRecord]:
     """The full grid: every function x method x repetition.
 
@@ -392,6 +394,13 @@ def run_batch(
         ``shard=(i, k)`` or ``"i/k"`` splits the grid across
         store-coordinated invocations that cooperate on one store with
         zero duplicated task executions.
+    retries, task_timeout:
+        Fault tolerance (see :func:`repro.experiments.parallel.execute`):
+        ``retries > 0`` retries failed cells with backoff and completes
+        the grid around quarantined ones (raising a structured
+        :class:`~repro.experiments.parallel.GridFailureError` at the
+        end); ``task_timeout`` arms the per-cell watchdog that kills and
+        respawns hung workers.
     """
     from repro.experiments.parallel import execute
 
@@ -406,7 +415,8 @@ def run_batch(
     ]
     warmup = sorted({(function, variant, test_size) for function in functions})
     return execute(run_single, tasks, jobs, warmup=warmup,
-                   store=store, resume=resume, executor=executor, shard=shard)
+                   store=store, resume=resume, executor=executor, shard=shard,
+                   retries=retries, task_timeout=task_timeout)
 
 
 def _third_party_single(
@@ -481,6 +491,8 @@ def run_third_party(
     engine: str = "vectorized",
     executor=None,
     shard=None,
+    retries: int = 0,
+    task_timeout: float | None = None,
 ) -> list[RunRecord]:
     """Section 9.3: repeated k-fold cross-validation on a fixed table.
 
@@ -488,8 +500,9 @@ def run_third_party(
     folds; the paper runs 5-fold CV ten times and averages.  For "TGL"
     the paper follows earlier work and uses ``alpha = 0.1``.  ``jobs``,
     ``executor`` and ``shard`` parallelise the (repetition, fold) cells
-    like :func:`run_batch`, and ``store``/``resume`` make them
-    cacheable the same way.
+    like :func:`run_batch`, ``store``/``resume`` make them cacheable
+    the same way, and ``retries``/``task_timeout`` give the cells the
+    same fault tolerance.
     """
     from repro.experiments.parallel import execute
 
@@ -502,7 +515,8 @@ def run_third_party(
         for fold in range(n_splits)
     ]
     return execute(_third_party_single, tasks, jobs, store=store,
-                   resume=resume, executor=executor, shard=shard)
+                   resume=resume, executor=executor, shard=shard,
+                   retries=retries, task_timeout=task_timeout)
 
 
 def aggregate_third_party(records: list[RunRecord]) -> dict:

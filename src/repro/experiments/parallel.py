@@ -53,6 +53,24 @@ concurrently-working processes total, never ``8 x 8``.  Leases never
 change results (every jobs/chunk setting is pinned bit-identical); the
 budget is purely a throughput contract.
 
+**Fault tolerance** rides the same layers.  ``execute(retries=N)``
+gives every task a :class:`RetryPolicy` (exponential backoff with
+seeded deterministic jitter); a task that exhausts its attempts is
+*quarantined* — the grid completes the remaining cells and raises a
+structured :class:`GridFailureError` at the end instead of dying on the
+first error, journalling each failed attempt in the store's
+``failures/`` tree.  ``task_timeout=`` arms a per-task watchdog in
+:class:`ProcessExecutor`: workers touch heartbeat files as tasks start,
+and a heartbeat older than the timeout means a dead or hung worker —
+the pool is killed and respawned, in-flight tasks are charged or
+requeued by heartbeat attribution.  When a pool cannot be spawned, or
+is poisoned twice in one run, execution degrades to the serial loop
+with a logged warning rather than crashing.  All of it is exercised
+deterministically through :mod:`repro.experiments.faults`
+(``REDS_FAULT_PLAN``), and results under injected faults stay
+bit-identical to fault-free runs — the engine-equivalence discipline
+extended to the failure domain.
+
 With ``store=`` (an :class:`~repro.experiments.store.ExperimentStore`
 or a directory path) :func:`execute` becomes resumable: cached records
 are loaded up front, only the missing tasks are dispatched, and every
@@ -71,13 +89,26 @@ sibling invocations publish theirs.
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
+import shutil
+import tempfile
 import threading
 import time
+from collections import deque
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from pathlib import Path
 
+from repro.experiments import faults
 from repro.experiments.dataplane import (
     ArrayRef,
     DataPlane,
@@ -88,9 +119,12 @@ from repro.experiments.store import MISSING, open_store
 
 __all__ = [
     "ExecutionPlan",
+    "GridFailureError",
     "ProcessExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "ShardedExecutor",
+    "TaskFailure",
     "EXECUTORS",
     "budgeted_jobs",
     "compile_plan",
@@ -104,6 +138,8 @@ __all__ = [
     "warm_test_cache",
     "worker_budget",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Names accepted by ``executor=`` arguments and the CLI ``--executor``.
 EXECUTORS = ("serial", "process", "sharded")
@@ -389,6 +425,233 @@ def _init_worker(warmup, test_refs, context, lease: int | None = None) -> None:
 
 
 # ----------------------------------------------------------------------
+# Retry policy, failure accounting and fault-aware task invocation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times a failed task is re-attempted, and how it backs off.
+
+    Backoff for attempt ``a`` (1-based count of *failures so far*) is
+    ``min(backoff_base * backoff_factor**(a-1), backoff_max)`` scaled by
+    a deterministic jitter in ``[0.5, 1.0]`` derived from
+    ``sha256(seed, token, a)`` — seeded jitter decorrelates sibling
+    retries without introducing wall-clock randomness, so the same run
+    replays the same delays.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    seed: int = 0
+
+    def delay(self, token: str, attempt: int) -> float:
+        """Seconds to wait before re-running ``token`` after ``attempt``
+        failures."""
+        if attempt <= 0:
+            return 0.0
+        base = min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max)
+        digest = hashlib.sha256(
+            f"{self.seed}:{token}:{attempt}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0**64
+        return base * (0.5 + 0.5 * draw)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One quarantined task: its grid identity and how it died."""
+
+    index: int
+    key: str | None
+    attempts: int
+    error: str
+
+
+class GridFailureError(RuntimeError):
+    """Raised after a tolerant grid finishes with quarantined tasks.
+
+    Unlike the fail-fast default, this carries the *complete* picture:
+    ``failures`` lists every task that exhausted its retries, and
+    ``results`` holds the full grid in task order with
+    :data:`~repro.experiments.store.MISSING` at the failed positions —
+    everything that could complete, did, and was persisted.
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure], results: list):
+        self.failures = list(failures)
+        self.results = results
+        super().__init__(self.summary())
+
+    def summary(self) -> str:
+        """A compact human-readable failure table."""
+        done = sum(1 for r in self.results if r is not MISSING)
+        lines = [
+            f"{len(self.failures)} task(s) quarantined after retries "
+            f"({done} of {len(self.results)} completed)",
+            f"  {'grid-index':>10}  {'task key':<12}  {'attempts':>8}  last error",
+        ]
+        for failure in self.failures:
+            key = failure.key[:12] if failure.key else "-"
+            error = failure.error.splitlines()[0] if failure.error else ""
+            if len(error) > 80:
+                error = error[:77] + "..."
+            lines.append(f"  {failure.index:>10}  {key:<12}  "
+                         f"{failure.attempts:>8}  {error}")
+        return "\n".join(lines)
+
+
+def _token_base(plan: ExecutionPlan, j: int) -> str:
+    """Stable identity of task ``j`` for fault decisions and jitter.
+
+    The store key when available (content-addressed, identical across
+    executors and shards), else the grid index — never anything
+    scheduling-dependent.
+    """
+    if plan.keys is not None and plan.keys[j] is not None:
+        return plan.keys[j]
+    return f"i{plan.indices[j]}"
+
+
+def _invoke(func: Callable, task: dict, token: str | None):
+    """Run one task, firing task-level fault injections when armed.
+
+    ``token`` is ``None`` when no fault plan is active (zero overhead on
+    the common path).  Only the outermost task scope on a thread
+    injects: nested fan-outs inside a task inherit its fate (see
+    :func:`repro.experiments.faults.task_scope`).
+    """
+    if token is None or not faults.enabled():
+        return func(**task)
+    with faults.task_scope(token) as outermost:
+        if outermost:
+            faults.maybe_inject("worker_crash", token)
+            faults.maybe_inject("task_hang", token)
+        return func(**task)
+
+
+def _guarded_call(func: Callable, task: dict, token: str | None,
+                  hb_dir: str | None, hb_name: str):
+    """Pool-worker task wrapper: heartbeat files + fault injection.
+
+    The heartbeat is written before the task starts and removed when it
+    returns (normally or with an exception), so the dispatcher can
+    attribute a poisoned pool: a surviving heartbeat means the task was
+    *in flight* on the dead worker (charge an attempt), no heartbeat
+    means it was still queued (requeue for free).  Its mtime doubles as
+    the watchdog's hang clock.
+    """
+    hb_path = None
+    if hb_dir:
+        hb_path = os.path.join(hb_dir, hb_name)
+        try:
+            with open(hb_path, "w") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:
+            hb_path = None
+    try:
+        return _invoke(func, task, token)
+    finally:
+        if hb_path is not None:
+            try:
+                os.unlink(hb_path)
+            except OSError:
+                pass
+
+
+def _record_failure(plan: ExecutionPlan, j: int, attempts: int,
+                    error: str, quarantined: bool) -> None:
+    """Journal a failed attempt in the store (dispatcher-side only)."""
+    if plan.store is None or plan.keys is None or plan.keys[j] is None:
+        return
+    try:
+        plan.store.record_failure(plan.keys[j], attempts=attempts,
+                                  error=error, quarantined=quarantined)
+    except OSError:  # pragma: no cover - journalling must never kill a run
+        pass
+
+
+def _describe_error(exc: BaseException) -> str:
+    text = str(exc)
+    return f"{type(exc).__name__}: {text}" if text else type(exc).__name__
+
+
+def _run_inline(plan: ExecutionPlan, order: Sequence[int],
+                attempts: list[int], results: dict[int, object],
+                settled: set[int],
+                on_result: Callable[[int, object], None] | None,
+                policy: RetryPolicy | None,
+                failures: list[TaskFailure] | None,
+                budget: int | None) -> None:
+    """Run ``order``'s tasks inline with retry accounting.
+
+    The shared engine of tolerant serial execution and of a degraded
+    :class:`ProcessExecutor` finishing a grid after giving up on pools
+    (``attempts`` carries over, so pool attempts still count against
+    the budget).  Installs the plan context (and ``budget`` as the
+    worker lease) thread-locally, exactly like :class:`SerialExecutor`.
+    """
+    max_attempts = policy.max_attempts if policy is not None else 1
+    previous = getattr(_TLS, "context", None)
+    previous_lease = getattr(_TLS, "lease", None)
+    _TLS.context = resolve_refs(plan.context)
+    if budget is not None:
+        _TLS.lease = budget
+    try:
+        for j in order:
+            token_base = _token_base(plan, j)
+            while True:
+                token = (f"{token_base}#a{attempts[j]}"
+                         if faults.enabled() else None)
+                try:
+                    record = _invoke(plan.func, plan.tasks[j], token)
+                except Exception as exc:
+                    attempts[j] += 1
+                    final = attempts[j] >= max_attempts
+                    _record_failure(plan, j, attempts[j],
+                                    _describe_error(exc), final)
+                    if final:
+                        if failures is None:
+                            raise
+                        failures.append(TaskFailure(
+                            index=plan.indices[j],
+                            key=(plan.keys[j] if plan.keys is not None
+                                 else None),
+                            attempts=attempts[j],
+                            error=_describe_error(exc)))
+                        results[j] = MISSING
+                        settled.add(j)
+                        break
+                    time.sleep(policy.delay(token_base, attempts[j]))
+                    continue
+                results[j] = record
+                settled.add(j)
+                if on_result is not None:
+                    on_result(j, record)
+                break
+    finally:
+        _TLS.context = previous
+        _TLS.lease = previous_lease
+
+
+def _kill_pool(pool) -> None:
+    """Tear a (possibly poisoned) pool down hard: kill workers, reap."""
+    if pool is None:
+        return
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+# ----------------------------------------------------------------------
 # Executors
 # ----------------------------------------------------------------------
 
@@ -410,7 +673,20 @@ class SerialExecutor:
         self.budget = budget
 
     def run(self, plan: ExecutionPlan,
-            on_result: Callable[[int, object], None] | None = None) -> list:
+            on_result: Callable[[int, object], None] | None = None, *,
+            policy: RetryPolicy | None = None,
+            failures: list[TaskFailure] | None = None,
+            task_timeout: float | None = None) -> list:
+        # ``task_timeout`` is accepted for interface parity but cannot be
+        # enforced inline: there is no second process to watch the clock,
+        # and killing the only interpreter would lose the grid.  The
+        # watchdog lives in ProcessExecutor.
+        if policy is not None or failures is not None or faults.enabled():
+            attempts = [0] * len(plan.tasks)
+            results: dict[int, object] = {}
+            _run_inline(plan, range(len(plan.tasks)), attempts, results,
+                        set(), on_result, policy, failures, self.budget)
+            return [results[j] for j in range(len(plan.tasks))]
         previous = getattr(_TLS, "context", None)
         previous_lease = getattr(_TLS, "lease", None)
         _TLS.context = resolve_refs(plan.context)
@@ -455,7 +731,10 @@ class ProcessExecutor:
         self.jobs = jobs
 
     def run(self, plan: ExecutionPlan,
-            on_result: Callable[[int, object], None] | None = None) -> list:
+            on_result: Callable[[int, object], None] | None = None, *,
+            policy: RetryPolicy | None = None,
+            failures: list[TaskFailure] | None = None,
+            task_timeout: float | None = None) -> list:
         jobs = default_jobs() if self.jobs is None else self.jobs
         ambient = worker_budget()
         if ambient is not None:
@@ -463,15 +742,26 @@ class ProcessExecutor:
             # spawned below it, whatever the nested caller asked for.
             jobs = min(jobs, ambient)
         if jobs <= 1 or len(plan.tasks) <= 1:
-            return SerialExecutor(budget=max(jobs, 1)).run(plan, on_result)
+            return SerialExecutor(budget=max(jobs, 1)).run(
+                plan, on_result, policy=policy, failures=failures)
         workers = min(jobs, len(plan.tasks))
         lease = max(1, jobs // workers)
         _log_spawn(workers, lease)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(plan.warmup, plan.test_refs, plan.context, lease),
-        ) as pool:
+        if (policy is not None or failures is not None
+                or task_timeout is not None or faults.enabled()):
+            return self._run_tolerant(plan, on_result, policy, failures,
+                                      task_timeout, jobs, workers, lease)
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(plan.warmup, plan.test_refs, plan.context, lease),
+            )
+        except Exception as exc:
+            logger.warning("process pool spawn failed (%s); degrading to "
+                           "serial execution", exc)
+            return SerialExecutor(budget=max(jobs, 1)).run(plan, on_result)
+        with pool:
             futures = [pool.submit(plan.func, **task) for task in plan.tasks]
             try:
                 if on_result is not None:
@@ -484,6 +774,194 @@ class ProcessExecutor:
                 # behind an already-doomed run.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+
+    def _run_tolerant(self, plan: ExecutionPlan,
+                      on_result: Callable[[int, object], None] | None,
+                      policy: RetryPolicy | None,
+                      failures: list[TaskFailure] | None,
+                      task_timeout: float | None,
+                      jobs: int, workers: int, lease: int) -> list:
+        """The guarded dispatch loop: retries, watchdog, degradation.
+
+        Used whenever a retry policy, a task timeout or an active fault
+        plan is in play.  Unlike the fast path's bulk-submit +
+        ``as_completed``, this loop owns the task lifecycle explicitly:
+        a ready queue, a backoff-delayed queue, and an in-flight map —
+        so it can requeue work across pool generations.  Heartbeat
+        files (written by :func:`_guarded_call`) attribute blame when a
+        pool dies: in-flight tasks are charged an attempt, queued tasks
+        requeue for free.  A second poisoning — or a pool that cannot
+        be spawned at all — degrades the rest of the grid to the inline
+        loop rather than thrashing.
+        """
+        if policy is None:
+            policy = RetryPolicy(max_attempts=1)
+        n = len(plan.tasks)
+        attempts = [0] * n
+        results: dict[int, object] = {}
+        settled: set[int] = set()
+        ready: deque[int] = deque(range(n))
+        delayed: list[tuple[float, int]] = []
+        poisonings = 0
+        pool = None
+        futures: dict[object, int] = {}
+        hb_dir = Path(tempfile.mkdtemp(prefix="reds-hb-"))
+        token_bases = [_token_base(plan, j) for j in range(n)]
+
+        def hb_path(j: int) -> Path:
+            return hb_dir / f"t{j}"
+
+        def charge(j: int, error: str, exc: BaseException | None) -> None:
+            attempts[j] += 1
+            final = attempts[j] >= policy.max_attempts
+            _record_failure(plan, j, attempts[j], error, final)
+            if not final:
+                delayed.append((time.monotonic()
+                                + policy.delay(token_bases[j], attempts[j]),
+                                j))
+                return
+            if failures is None:
+                if exc is not None:
+                    raise exc
+                raise RuntimeError(error)
+            failures.append(TaskFailure(
+                index=plan.indices[j],
+                key=plan.keys[j] if plan.keys is not None else None,
+                attempts=attempts[j], error=error))
+            results[j] = MISSING
+            settled.add(j)
+
+        def poison(reason: str, candidates: Sequence[int],
+                   charged: Sequence[int] = ()) -> None:
+            # The whole pool dies together (killing a hung worker kills
+            # its siblings too): tasks in ``charged`` were already
+            # charged by the caller, the rest are charged or requeued by
+            # heartbeat attribution.
+            nonlocal pool, poisonings
+            poisonings += 1
+            _kill_pool(pool)
+            pool = None
+            futures.clear()
+            for j in candidates:
+                if j in charged or j in settled:
+                    continue
+                if hb_path(j).exists():
+                    charge(j, reason, None)
+                else:
+                    ready.append(j)
+            for stale in hb_dir.glob("t*"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+
+        try:
+            while len(settled) < n:
+                if poisonings >= 2:
+                    remaining = sorted(
+                        set(range(n)) - settled - set(futures.values()))
+                    logger.warning(
+                        "process pool poisoned %d times; degrading the "
+                        "remaining %d task(s) to serial execution",
+                        poisonings, len(remaining))
+                    delayed.clear()
+                    ready.clear()
+                    _run_inline(plan, remaining, attempts, results, settled,
+                                on_result, policy, failures, budget=jobs)
+                    break
+                now = time.monotonic()
+                if delayed:
+                    ripe = sorted(j for t, j in delayed if t <= now)
+                    delayed[:] = [(t, j) for t, j in delayed if t > now]
+                    ready.extend(ripe)
+                if pool is None and ready:
+                    try:
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers,
+                            initializer=_init_worker,
+                            initargs=(plan.warmup, plan.test_refs,
+                                      plan.context, lease),
+                        )
+                    except Exception as exc:
+                        logger.warning(
+                            "process pool spawn failed (%s); degrading the "
+                            "remaining tasks to serial execution", exc)
+                        poisonings = 2
+                        continue
+                submit_failed = False
+                while ready:
+                    j = ready.popleft()
+                    token = (f"{token_bases[j]}#a{attempts[j]}"
+                             if faults.enabled() else None)
+                    try:
+                        future = pool.submit(_guarded_call, plan.func,
+                                             plan.tasks[j], token,
+                                             str(hb_dir), f"t{j}")
+                    except Exception:
+                        ready.appendleft(j)
+                        submit_failed = True
+                        break
+                    futures[future] = j
+                if submit_failed:
+                    # The unsubmitted task is back at the head of
+                    # ``ready``; only the in-flight ones need blame
+                    # attribution.
+                    poison("worker crashed (pool rejected new work)",
+                           list(futures.values()))
+                    continue
+                if not futures:
+                    if delayed:
+                        wake = min(t for t, _ in delayed)
+                        time.sleep(max(wake - time.monotonic(), 0.0) + 0.001)
+                        continue
+                    break
+                poll = 0.2
+                if task_timeout is not None:
+                    poll = min(poll, max(task_timeout / 4.0, 0.02))
+                if delayed:
+                    poll = min(poll, 0.05)
+                done, _ = wait(list(futures), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+                broken: list[int] = []
+                for future in done:
+                    j = futures.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        record = future.result()
+                        results[j] = record
+                        settled.add(j)
+                        if on_result is not None:
+                            on_result(j, record)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken.append(j)
+                    else:
+                        charge(j, _describe_error(exc), exc)
+                if broken:
+                    poison("worker crashed (pool poisoned mid-task)",
+                           broken + list(futures.values()))
+                    continue
+                if task_timeout is not None and futures:
+                    wall = time.time()
+                    hung = []
+                    for future, j in futures.items():
+                        try:
+                            started = hb_path(j).stat().st_mtime
+                        except OSError:
+                            continue  # still queued, clock not running
+                        if wall - started > task_timeout:
+                            hung.append(j)
+                    if hung:
+                        for j in hung:
+                            charge(j, f"task exceeded task_timeout="
+                                      f"{task_timeout}s; worker killed",
+                                   None)
+                        poison("pool killed to recover hung worker(s)",
+                               list(futures.values()), charged=hung)
+                        continue
+            return [results[j] for j in range(n)]
+        finally:
+            _kill_pool(pool)
+            shutil.rmtree(hb_dir, ignore_errors=True)
 
 
 class ShardedExecutor:
@@ -501,16 +979,26 @@ class ShardedExecutor:
     Each invocation therefore returns the full grid, identical to a
     serial run, and a lone shard completes the whole grid by itself.
 
+    Sibling death is survivable: a claim marker's mtime is its lease
+    timestamp, and a claim older than ``claim_ttl`` is presumed
+    abandoned — this invocation *reclaims* it (atomic takeover, exactly
+    one survivor wins) and executes the task itself instead of waiting
+    forever.  Pick ``claim_ttl`` comfortably above the worst-case task
+    duration; reclaiming a live sibling's lease cannot corrupt results
+    (tasks are pure, records last-writer-wins with identical content)
+    but duplicates work.  ``claim_ttl=None`` disables reclamation.
+
     ``timeout`` bounds how long this invocation waits for tasks that
     are claimed elsewhere but whose records never appear (a crashed or
-    stalled sibling); the deadline resets whenever any progress is
-    observed, so it only fires on a genuinely dead grid.
+    stalled sibling inside its lease); the deadline resets whenever any
+    progress is observed, so it only fires on a genuinely dead grid.
     """
 
     wants_plane = True
 
     def __init__(self, shard: int, of: int, *, jobs: int | None = None,
-                 poll_interval: float = 0.05, timeout: float = 3600.0) -> None:
+                 poll_interval: float = 0.05, timeout: float = 3600.0,
+                 claim_ttl: float | None = 1800.0) -> None:
         if of < 1:
             raise ValueError(f"shard count must be >= 1, got {of}")
         if not 0 <= shard < of:
@@ -520,6 +1008,7 @@ class ShardedExecutor:
         self.jobs = jobs
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.claim_ttl = claim_ttl
 
     @property
     def owner(self) -> str:
@@ -532,7 +1021,10 @@ class ShardedExecutor:
         return f"shard-{self.shard}/{self.of}"
 
     def run(self, plan: ExecutionPlan,
-            on_result: Callable[[int, object], None] | None = None) -> list:
+            on_result: Callable[[int, object], None] | None = None, *,
+            policy: RetryPolicy | None = None,
+            failures: list[TaskFailure] | None = None,
+            task_timeout: float | None = None) -> list:
         if plan.store is None or plan.keys is None:
             raise ValueError(
                 "sharded execution coordinates through the experiment "
@@ -547,7 +1039,9 @@ class ShardedExecutor:
             if on_result is not None:
                 wrapped = lambda j, record: on_result(selection[j], record)  # noqa: E731
             for j, record in zip(selection,
-                                 inner.run(plan.subset(selection), wrapped)):
+                                 inner.run(plan.subset(selection), wrapped,
+                                           policy=policy, failures=failures,
+                                           task_timeout=task_timeout)):
                 results[j] = record
 
         # Own slice first — the modulo partition stays the priority
@@ -584,6 +1078,44 @@ class ShardedExecutor:
                 progress = True
             if not waiting:
                 break
+            # Dead-sibling recovery: a claim whose lease expired belongs
+            # to an invocation presumed dead — take it over (exactly one
+            # survivor wins the atomic takeover) and run it here.
+            if self.claim_ttl is not None:
+                reclaimed = []
+                for j in waiting:
+                    age = plan.store.claim_age(plan.keys[j])
+                    if age is not None and age > self.claim_ttl and \
+                            plan.store.reclaim(plan.keys[j], self.owner,
+                                               max_age=self.claim_ttl):
+                        reclaimed.append(j)
+                if reclaimed:
+                    logger.warning(
+                        "shard %d/%d reclaimed %d expired claim(s) from "
+                        "dead sibling(s)", self.shard, self.of,
+                        len(reclaimed))
+                    run_claimed(reclaimed)
+                    waiting = [j for j in waiting if j not in results]
+                    progress = True
+            if not waiting:
+                break
+            # A sibling that quarantined a task after exhausting its
+            # retries will never publish a record for it; inherit the
+            # failure instead of waiting for one.
+            if failures is not None:
+                for j in list(waiting):
+                    failure = plan.store.failure_for(plan.keys[j])
+                    if failure is not None and failure.get("quarantined"):
+                        failures.append(TaskFailure(
+                            index=plan.indices[j], key=plan.keys[j],
+                            attempts=int(failure.get("attempts", 0)),
+                            error=str(failure.get("error",
+                                                  "quarantined by sibling"))))
+                        results[j] = MISSING
+                        waiting.remove(j)
+                        progress = True
+            if not waiting:
+                break
             if progress:
                 deadline = time.monotonic() + self.timeout
             elif time.monotonic() > deadline:
@@ -594,8 +1126,9 @@ class ShardedExecutor:
                     f"{'...' if len(missing) > 8 else ''} never appeared "
                     f"in the store — those tasks are claimed by sibling "
                     f"shards that have stopped publishing (crashed "
-                    f"sibling?); delete the store's claims/ directory to "
-                    f"release them and re-run")
+                    f"sibling?); their claims will become reclaimable "
+                    f"once older than claim_ttl, or delete the store's "
+                    f"claims/ directory to release them and re-run")
             else:
                 time.sleep(self.poll_interval)
         return [results[j] for j in range(len(plan.tasks))]
@@ -682,6 +1215,8 @@ def execute(
     shard=None,
     context: object = None,
     shared: dict | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
 ) -> list:
     """Compile ``func(**task) for task in tasks`` into a plan and run it.
 
@@ -708,6 +1243,21 @@ def execute(
         Plan context shipped once per worker (see :func:`plan_context`)
         and large read-only arrays published through the data plane and
         merged into it by name.
+    retries:
+        Extra attempts per failed task (default 0: fail fast on the
+        first error, the historical behaviour).  With ``retries > 0``
+        failures retry under a :class:`RetryPolicy` (exponential
+        backoff, seeded jitter), failed attempts are journalled in the
+        store's ``failures/`` tree, and a task that exhausts its budget
+        is quarantined: the rest of the grid completes (and persists)
+        before a :class:`GridFailureError` summarising every quarantined
+        task is raised.
+    task_timeout:
+        Per-task wall-clock limit in seconds, enforced by
+        :class:`ProcessExecutor`'s heartbeat watchdog: a worker whose
+        task outlives the limit is killed, the pool respawned, and the
+        task charged one attempt.  Ignored by purely in-process
+        execution (there is no second process to watch the clock).
 
     Returns
     -------
@@ -715,8 +1265,22 @@ def execute(
         One result per task, in task-list order, indistinguishable from
         a storeless serial run: cached and fresh records interleave at
         their grid positions.
+
+    Raises
+    ------
+    GridFailureError
+        Only with ``retries > 0``, after the grid has completed, when at
+        least one task was quarantined.  ``.results`` carries the full
+        grid (``MISSING`` at failed positions), ``.failures`` the
+        per-task post-mortems.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     tasks = list(tasks)
+    tolerant = retries > 0
+    policy = (RetryPolicy(max_attempts=retries + 1)
+              if (tolerant or task_timeout is not None) else None)
+    failures: list[TaskFailure] | None = [] if tolerant else None
     store = open_store(store)
     exec_obj = get_executor(executor, jobs=jobs, shard=shard)
     use_plane = exec_obj.wants_plane and dataplane_enabled()
@@ -737,10 +1301,14 @@ def execute(
         try:
             plan = compile_plan(func, tasks, warmup=warmup, context=context,
                                 shared=shared, plane=plane)
-            return exec_obj.run(plan)
+            out = exec_obj.run(plan, policy=policy, failures=failures,
+                               task_timeout=task_timeout)
         finally:
             if plane is not None:
                 plane.unlink()
+        if failures:
+            raise GridFailureError(failures, out)
+        return out
 
     keys = [store.key(func, task) for task in tasks]
     results: dict[int, object] = {}
@@ -784,15 +1352,24 @@ def execute(
         # Persist each record the moment its task finishes (completion
         # order), so an interrupted grid loses at most the in-flight
         # tasks and the next run — or a sibling shard — resumes from
-        # everything that completed.
-        fresh = exec_obj.run(
-            plan, on_result=lambda j, record: store.put(plan.keys[j], record))
+        # everything that completed.  A success also clears any failure
+        # journal left by earlier attempts (this run's or a previous
+        # one's), so ``failures/`` only ever describes unresolved tasks.
+        def persist(j: int, record) -> None:
+            store.put(plan.keys[j], record)
+            store.clear_failure(plan.keys[j])
+
+        fresh = exec_obj.run(plan, on_result=persist, policy=policy,
+                             failures=failures, task_timeout=task_timeout)
     finally:
         if plane is not None:
             plane.unlink()
     for index, record in zip(pending, fresh):
         results[index] = record
-    return [results[index] for index in range(len(tasks))]
+    out = [results[index] for index in range(len(tasks))]
+    if failures:
+        raise GridFailureError(failures, out)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,22 @@ experiment database:
   ``claims/`` (:meth:`ExperimentStore.claim`): exactly one invocation
   wins each key, which is what makes stealing duplicate-free.  Claims
   are bookkeeping, not results — deleting the directory only releases
-  ownership.
+  ownership.  A claim's mtime is its lease timestamp: claims older
+  than a TTL can be taken over (:meth:`ExperimentStore.reclaim`) so a
+  SIGKILLed shard does not wedge the grid forever.
+* **Durability and self-verification.**  Record writes fsync the file
+  and its directory before and after the rename (opt out with
+  ``REDS_STORE_FSYNC=0``), and every record is stored inside an
+  envelope carrying its own key.  On read, an entry that fails to
+  unpickle *or* whose envelope key does not match is quarantined to
+  ``corrupt/`` and treated as a miss — a torn write surviving a crash
+  costs one recompute, never a wrong or half-read record.
+* **Failure records.**  Retrying executors journal failed attempts
+  under ``failures/<key[:2]>/<key>.json`` (attempt count, last error,
+  quarantined flag) via :meth:`ExperimentStore.record_failure`, so a
+  resumed run knows what was retried and sharded siblings can tell a
+  quarantined task from one that is merely slow.  A later success
+  clears the failure record.
 
 A warm store must be invisible in the results: the records a store-backed
 run returns are *identical*, field by field (runtime included, because
@@ -49,9 +64,12 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from collections.abc import Callable, Iterator
 from functools import lru_cache
 from pathlib import Path
+
+from repro.experiments import faults
 
 __all__ = [
     "ExperimentStore",
@@ -65,18 +83,40 @@ __all__ = [
 ]
 
 #: On-disk layout version; bumping it invalidates every existing entry.
-STORE_FORMAT = 1
+#: Format 2 wraps each record in a ``{"key": ..., "record": ...}``
+#: envelope so reads verify they got the record they asked for.
+STORE_FORMAT = 2
 
 #: Modules (relative to the ``repro`` package root) whose source does
-#: not influence experiment records: presentation, CLI plumbing, and
-#: this store itself.  Everything else is part of the fingerprint.
+#: not influence experiment records: presentation, CLI plumbing, this
+#: store itself, and fault injection (whose contract is precisely that
+#: it never changes records).  Everything else is part of the
+#: fingerprint.
 FINGERPRINT_EXCLUDE = frozenset({
     "cli.py",
     "__main__.py",
     "experiments/store.py",
+    "experiments/faults.py",
     "experiments/report.py",
     "subgroup/describe.py",
 })
+
+
+def _fsync_enabled() -> bool:
+    return os.environ.get("REDS_STORE_FSYNC", "1") != "0"
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class _Missing:
@@ -243,7 +283,12 @@ class ExperimentStore:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
+                if _fsync_enabled():
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp_name, path)
+            if _fsync_enabled():
+                _fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -258,13 +303,39 @@ class ExperimentStore:
         """Content address of ``func(**task)`` under this store's code."""
         return task_key(func, task, fingerprint=self.fingerprint)
 
+    def corrupt_path(self, key: str) -> Path:
+        """Where a quarantined corrupt entry for ``key`` is parked."""
+        return self.root / "corrupt" / key[:2] / f"{key}.pkl"
+
+    def quarantine(self, key: str) -> Path | None:
+        """Move a bad record file to ``corrupt/`` and report where.
+
+        The original path becomes a clean miss (the task recomputes);
+        the damaged bytes are preserved for post-mortem instead of being
+        destroyed.  Returns ``None`` when there was nothing to move.
+        """
+        src = self.path_for(key)
+        dst = self.corrupt_path(key)
+        try:
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(src, dst)
+        except OSError:
+            try:
+                src.unlink()
+            except OSError:
+                pass
+            return None
+        return dst
+
     def get(self, key: str, default=MISSING):
         """The stored record for ``key``, or ``default`` if absent.
 
-        A corrupt entry (e.g. a file truncated by an external copy) is
-        treated as a miss and removed, so the task simply recomputes.
-        A transient I/O failure (permissions, fd exhaustion) is a plain
-        miss: the entry is left alone — it may be perfectly valid.
+        A corrupt entry — one that fails to unpickle (e.g. a torn write
+        that survived a crash) or whose envelope key does not match the
+        key asked for — is treated as a miss and quarantined to
+        ``corrupt/``, so the task simply recomputes.  A transient I/O
+        failure (permissions, fd exhaustion) is a plain miss: the entry
+        is left alone — it may be perfectly valid.
         """
         path = self.path_for(key)
         try:
@@ -274,29 +345,79 @@ class ExperimentStore:
             return default
         try:
             with handle:
-                record = pickle.load(handle)
+                envelope = pickle.load(handle)
         except OSError:  # read failed mid-load; do not assume corruption
             self.misses += 1
             return default
         except (pickle.UnpicklingError, ValueError, EOFError,
                 AttributeError, ImportError, IndexError):
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.quarantine(key)
+            return default
+        if (not isinstance(envelope, dict) or envelope.get("key") != key
+                or "record" not in envelope):
+            # Readable pickle, wrong content: key verification failed.
+            self.misses += 1
+            self.quarantine(key)
             return default
         self.hits += 1
-        return record
+        return envelope["record"]
 
     def put(self, key: str, record) -> None:
-        """Persist ``record`` under ``key`` (atomic publish via rename)."""
-        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        """Persist ``record`` under ``key`` (atomic publish via rename).
+
+        The record is wrapped in a ``{"key": ..., "record": ...}``
+        envelope so :meth:`get` can verify it reads back the record it
+        asked for.  Under an active fault plan the ``store_write_torn``
+        injection point truncates the payload (still atomically renamed
+        into place) to simulate a torn write surviving a crash.
+        """
+        payload = pickle.dumps({"key": key, "record": record},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        if faults.check("store_write_torn", key):
+            payload = payload[: max(1, len(payload) // 2)]
         self._atomic_write(self.path_for(key), payload)
         self.writes += 1
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    # Failure records (retry forensics)
+    # ------------------------------------------------------------------
+    def failure_path(self, key: str) -> Path:
+        """Where a key's failure record lives (whether or not it exists)."""
+        return self.root / "failures" / key[:2] / f"{key}.json"
+
+    def record_failure(self, key: str, *, attempts: int, error: str,
+                       quarantined: bool) -> None:
+        """Journal a failed attempt for ``key`` (atomic, JSON).
+
+        Written by the dispatching process after every failed attempt;
+        ``quarantined=True`` marks the task as having exhausted its
+        retry budget for this run.  The record is plain JSON so humans
+        (and sharded siblings) can read it without unpickling anything.
+        """
+        payload = json.dumps(
+            {"key": key, "attempts": int(attempts), "error": str(error),
+             "quarantined": bool(quarantined), "time": time.time()},
+            sort_keys=True).encode()
+        self._atomic_write(self.failure_path(key), payload)
+
+    def failure_for(self, key: str) -> dict | None:
+        """The journalled failure record for ``key``, or ``None``."""
+        try:
+            data = json.loads(self.failure_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def clear_failure(self, key: str) -> None:
+        """Forget ``key``'s failure record (called after a success)."""
+        try:
+            self.failure_path(key).unlink()
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # Claim markers (sharded work stealing)
@@ -336,6 +457,14 @@ class ExperimentStore:
             return self.claim_owner(key) == owner
         try:
             os.write(fd, owner.encode())
+            if _fsync_enabled():
+                # Claims cannot go through write-temp + rename: the
+                # O_CREAT|O_EXCL create *is* the arbitration.  Fsync the
+                # fd so the marker (and its lease timestamp) is durable.
+                try:
+                    os.fsync(fd)
+                except OSError:
+                    pass
         finally:
             os.close(fd)
         return True
@@ -346,6 +475,52 @@ class ExperimentStore:
             return self.claim_path(key).read_text() or None
         except OSError:
             return None
+
+    def claim_age(self, key: str) -> float | None:
+        """Seconds since ``key``'s claim marker was created, or ``None``.
+
+        The marker's mtime is the lease timestamp: a claim much older
+        than any plausible task duration belongs to a dead owner.
+        """
+        try:
+            mtime = self.claim_path(key).stat().st_mtime
+        except OSError:
+            return None
+        return max(time.time() - mtime, 0.0)
+
+    def reclaim(self, key: str, owner: str, *, max_age: float) -> bool:
+        """Take over a claim whose lease expired (owner presumed dead).
+
+        Arbitration is a single atomic rename of the stale marker to a
+        ``.stale`` side file: when several survivors race, exactly one
+        rename succeeds, and only that winner proceeds to re-claim the
+        key through the normal ``O_CREAT | O_EXCL`` path.  A claim
+        younger than ``max_age`` is never touched — callers must pick a
+        ``max_age`` comfortably above their worst-case task duration,
+        because reclaiming a *live* owner's lease would allow a
+        duplicated execution (harmless for results: tasks are pure and
+        writes are idempotent last-writer-wins with identical content,
+        but wasted work all the same).
+
+        Returns
+        -------
+        bool
+            True iff ``owner`` now holds the claim and should execute
+            the task.
+        """
+        age = self.claim_age(key)
+        if age is None:
+            # Claim vanished (e.g. manually released); take it normally.
+            return self.claim(key, owner)
+        if age < max_age:
+            return False
+        path = self.claim_path(key)
+        stale = path.with_suffix(".stale")
+        try:
+            os.replace(path, stale)
+        except OSError:
+            return False  # a sibling won the takeover race
+        return self.claim(key, owner)
 
     def keys(self) -> Iterator[str]:
         """All stored keys (order unspecified)."""
