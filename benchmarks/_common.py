@@ -11,7 +11,8 @@ points at a persistent result-store directory: finished grid cells are
 cached there, so re-running a benchmark recomputes only what is missing
 (delete the directory, or change any result-affecting source file, to
 force a cold run).  ``REDS_ENGINE`` selects the kernel engine for every
-grid cell (``vectorized`` default / ``reference``), and
+grid cell (``vectorized`` default / ``reference`` / ``native``, the
+latter resolving to ``vectorized`` when numba is missing), and
 ``REDS_BENCH_SHARD=i/k`` runs only shard ``i`` of ``k`` of each grid,
 reading the other shards' records from the store — launch ``k``
 invocations against one ``REDS_BENCH_STORE`` to split a benchmark
@@ -115,12 +116,20 @@ def store_from_env():
 
 
 def engine_from_env() -> str:
-    """Kernel engine from ``REDS_ENGINE`` (default ``"vectorized"``)."""
+    """Kernel engine from ``REDS_ENGINE`` (default ``"vectorized"``).
+
+    Validated through the central registry, so ``native`` is accepted
+    (and silently resolves to ``vectorized`` on runners without numba).
+    """
+    from repro.engines import available_engines, resolve
+
     engine = os.environ.get("REDS_ENGINE", "vectorized").strip().lower()
-    if engine not in ("vectorized", "reference"):
+    try:
+        return resolve(engine)
+    except ValueError:
         raise ValueError(
-            f"REDS_ENGINE must be 'vectorized' or 'reference', got {engine!r}")
-    return engine
+            f"REDS_ENGINE must be one of {available_engines()}, "
+            f"got {engine!r}") from None
 
 
 def shard_from_env():

@@ -1,0 +1,118 @@
+"""Microbenchmark: the compiled (numba) prediction kernel's floors.
+
+The tentpole measurement of the ``engine="native"`` backend: one
+single-call forest ``leaf_value_sum`` over L = 100 000 query points
+(the REDS ``label_time`` workload, the walk PR 4 measured as
+gather-bound) timed under all three engines.  The acceptance floors —
+native >= 10x over the reference per-tree loops and >= 4x over the
+vectorized stacked walk — are asserted only on runners where numba is
+actually importable; elsewhere the reference/vectorized timings are
+still recorded and the tracked JSON says so via ``floor_asserted:
+false`` (the ``BENCH_label_fanout`` convention), so the perf
+trajectory stays comparable across machines without failing
+numba-less CI legs.
+
+Machine-readable results land in
+``benchmarks/results/BENCH_native_kernel.json`` and are mirrored to
+the tracked repo-root ``results/``.
+"""
+
+import numpy as np
+
+from _common import best_of as _best_of, emit, emit_json
+from repro.engines import HAVE_NUMBA, warmup_native
+from repro.metamodels.forest import RandomForestModel
+
+N, M = 3200, 10
+N_PREDICT = 100_000
+FOREST_TREES = 100
+PREDICT_REPEATS = 3
+
+#: Acceptance floors of the compiled stacked walk (single call,
+#: single core, L = 100k), asserted only when numba is importable.
+NATIVE_VS_REFERENCE_FLOOR = 10.0
+NATIVE_VS_VECTORIZED_FLOOR = 4.0
+
+
+def _dataset():
+    """The bench_metamodel_kernel workload: box rule + 25% label noise
+    keeps bootstrap trees near-fully grown (depth ~24), the regime
+    where the dependent-gather walk dominates prediction."""
+    rng = np.random.default_rng(11)
+    x = rng.random((N, M))
+    rule = ((x[:, 0] > 0.35) & (x[:, 1] < 0.65)
+            & (x[:, 2] + 0.2 * x[:, 3] > 0.4))
+    flip = rng.random(N) < 0.25
+    y = (rule ^ flip).astype(float)
+    xq = rng.random((N_PREDICT, M))
+    return x, y, xq
+
+
+def test_native_predict_floor(benchmark):
+    x, y, xq = _dataset()
+    engines = (("reference", "vectorized", "native") if HAVE_NUMBA
+               else ("reference", "vectorized"))
+
+    models = {
+        engine: RandomForestModel(
+            n_trees=FOREST_TREES, seed=0, engine=engine).fit(x, y)
+        for engine in engines
+    }
+
+    def run():
+        times, preds = {}, {}
+        for engine in engines:
+            times[engine], preds[engine] = _best_of(
+                lambda engine=engine: models[engine].predict_proba(xq),
+                PREDICT_REPEATS)
+        return times, preds
+
+    if HAVE_NUMBA:
+        warmup_native()  # compile outside the timed region
+        models["native"].predict_proba(xq[:64])  # build the SoA tables
+    times, preds = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for engine in engines[1:]:
+        assert np.array_equal(preds[engine], preds["reference"]), engine
+
+    lines = [
+        f"Forest leaf_value_sum, {FOREST_TREES} trees, N={N}, M={M}, "
+        f"L={N_PREDICT} (single call, best of {PREDICT_REPEATS}):",
+    ]
+    for engine in engines:
+        lines.append(f"  {engine:11s} {times[engine] * 1e3:8.1f} ms")
+    if HAVE_NUMBA:
+        vs_ref = times["reference"] / times["native"]
+        vs_vec = times["vectorized"] / times["native"]
+        lines.append(f"  native vs reference  {vs_ref:6.2f} x "
+                     f"(floor {NATIVE_VS_REFERENCE_FLOOR})")
+        lines.append(f"  native vs vectorized {vs_vec:6.2f} x "
+                     f"(floor {NATIVE_VS_VECTORIZED_FLOOR})")
+    else:
+        lines.append("  native: numba not installed "
+                     "(floors not asserted on this runner)")
+    emit("native_kernel", "\n".join(lines))
+
+    emit_json("BENCH_native_kernel", {
+        "n": N, "m": M, "n_predict": N_PREDICT,
+        "forest_trees": FOREST_TREES,
+        "predict_repeats": PREDICT_REPEATS,
+        "have_numba": HAVE_NUMBA,
+        "floor_asserted": HAVE_NUMBA,
+        "native_vs_reference_floor": NATIVE_VS_REFERENCE_FLOOR,
+        "native_vs_vectorized_floor": NATIVE_VS_VECTORIZED_FLOOR,
+        **{f"{engine}_seconds": times[engine] for engine in engines},
+        **({"native_vs_reference": times["reference"] / times["native"],
+            "native_vs_vectorized": times["vectorized"] / times["native"]}
+           if HAVE_NUMBA else {"native_seconds": None}),
+    })
+
+    if HAVE_NUMBA:
+        assert times["reference"] / times["native"] >= \
+            NATIVE_VS_REFERENCE_FLOOR, \
+            f"native only {times['reference'] / times['native']:.2f}x " \
+            "over reference"
+        assert times["vectorized"] / times["native"] >= \
+            NATIVE_VS_VECTORIZED_FLOOR, \
+            f"native only {times['vectorized'] / times['native']:.2f}x " \
+            "over vectorized"

@@ -1,5 +1,14 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
 # Offline environments here lack the `wheel` package, so PEP 660 editable
 # installs fail; this shim enables the legacy `pip install -e .` path.
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={
+        # Optional compiled kernels (engine="native"); everything works
+        # without it — the name resolves to "vectorized" with a warning.
+        "native": ["numba"],
+    },
+)

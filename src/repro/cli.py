@@ -28,8 +28,8 @@ from repro.experiments.parallel import (
 from repro.experiments.report import format_table
 from repro.experiments.store import open_store
 from repro.metrics import precision_recall, trajectory_of
+from repro.engines import available_engines
 from repro.subgroup.describe import describe_box, describe_trajectory
-from repro.subgroup.prim import ENGINES
 
 __all__ = ["main", "build_parser"]
 
@@ -52,9 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     one.add_argument("--no-tune", action="store_true",
                      help="skip metamodel hyperparameter tuning")
     one.add_argument("--test-size", type=int, default=10_000)
-    one.add_argument("--engine", choices=ENGINES, default="vectorized",
+    one.add_argument("--engine", choices=available_engines(),
+                     default="vectorized",
                      help="kernel engine for every layer of the run "
-                          "(reference = slow exact twin)")
+                          "(reference = slow exact twin; native = "
+                          "compiled kernels, falls back to vectorized "
+                          "without numba)")
     one.add_argument("--jobs", type=int, default=1,
                      help="worker processes for the run's data-parallel "
                           "stages — REDS pool labeling and metamodel "
@@ -73,9 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("--n-new", type=int, default=20_000)
     many.add_argument("--no-tune", action="store_true")
     many.add_argument("--test-size", type=int, default=10_000)
-    many.add_argument("--engine", choices=ENGINES, default="vectorized",
+    many.add_argument("--engine", choices=available_engines(),
+                      default="vectorized",
                       help="kernel engine threaded into every grid cell "
-                           "(reference = slow exact twin)")
+                           "(reference = slow exact twin; native = "
+                           "compiled kernels, falls back to vectorized "
+                           "without numba)")
     many.add_argument("--jobs", type=int, default=1,
                       help="total worker budget for the whole run "
                            "(0 = all CPUs): the planner splits it "

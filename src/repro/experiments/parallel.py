@@ -407,6 +407,15 @@ def _init_worker(warmup, test_refs, context, lease: int | None = None) -> None:
     """
     global _PLAN_CONTEXT, _CONTEXT_ERROR, _WORKER_LEASE
     _WORKER_LEASE = lease
+    if os.environ.get("REDS_NATIVE_ACTIVE"):
+        # An engine="native" run is live in this process tree: load the
+        # disk-cached compiled kernels now so no task pays a compile.
+        try:
+            from repro.engines import warmup_native
+
+            warmup_native()
+        except Exception:
+            pass
     try:
         if test_refs:
             from repro.experiments.harness import register_test_data

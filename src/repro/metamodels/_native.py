@@ -1,0 +1,433 @@
+"""Compiled (numba) metamodel kernels — the ``engine="native"`` backend.
+
+PR 4 measured the numpy ceiling on stacked-ensemble prediction at
+~2-3x over the reference loops: every (tree, row) step is a dependent
+gather that numpy cannot fuse, so the walk is latency-bound no matter
+how the tables are laid out.  The two kernels here break that wall by
+compiling the walks:
+
+* :func:`stacked_sum` — the ensemble prediction walk over the
+  struct-of-arrays node tables cached on
+  :class:`~repro.metamodels._kernels.StackedEnsemble`
+  (``feature``/``thr_rank``/``left``/``value`` as contiguous
+  int32/float64 arrays), with ``prange`` over rows.  Per row it
+  accumulates leaf values in tree order with the same elementwise
+  operations as the numpy chunk loop, so predictions stay
+  bit-identical to both existing engines.
+* :func:`_best_splits` — the level-wise split scan of tree growth:
+  one ``prange`` iteration per split-eligible node runs a stable LSD
+  byte-radix sort of the node's int32 dense-rank keys per candidate
+  feature, sequential float64 prefix sums (the exact accumulation
+  order of ``np.cumsum``), and the reference gain/tie/threshold
+  semantics operation for operation.
+
+:func:`grow_tree_native` / :func:`grow_forest_native` drive the split
+kernel through the *reference* breadth-first orchestration (per-level
+FIFO, batched :func:`~repro.metamodels._kernels.draw_candidates`, the
+draw-bootstraps-then-spawn generator protocol), so fitted trees are
+bit-identical to both existing engines by construction — pinned in
+``tests/test_native_equivalence.py``.
+
+All kernels are ``@njit(cache=True, parallel=True)``: compiled once to
+an on-disk cache, so forked/spawned pool workers load machine code
+instead of recompiling (see :func:`repro.engines.warmup_native`).
+Without numba the decorator is the identity (see
+:mod:`repro.engines`) and the kernels run as plain Python — only the
+``REDS_NATIVE_PUREPY`` testing hook takes that path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines import njit, prange
+from repro.metamodels._kernels import dense_ranks, draw_candidates
+
+__all__ = ["grow_tree_native", "grow_forest_native", "stacked_sum", "warmup"]
+
+_NO_FEATURE = -1
+
+
+# ----------------------------------------------------------------------
+# Stacked-ensemble prediction
+# ----------------------------------------------------------------------
+
+@njit(cache=True, parallel=True)
+def stacked_sum(feature, thr_rank, left, value, roots, ranks,
+                init, scale, use_scale, rank_inf):
+    """``init + sum_t scale * value_t(row)`` over flat SoA node tables.
+
+    ``thr_rank[node] == rank_inf`` marks leaves (and padding); internal
+    nodes step to ``left[node] + (query rank > threshold rank)``,
+    exactly the comparison the numpy walks make.  The per-row
+    accumulator adds tree values in tree order — the same elementwise
+    operation sequence as the reference / vectorized loops, so results
+    are bit-identical.
+    """
+    n = ranks.shape[0]
+    n_trees = roots.shape[0]
+    out = np.empty(n)
+    for i in prange(n):
+        acc = init
+        for t in range(n_trees):
+            node = roots[t]
+            tr = thr_rank[node]
+            while tr != rank_inf:
+                if ranks[i, feature[node]] > tr:
+                    node = left[node] + 1
+                else:
+                    node = left[node]
+                tr = thr_rank[node]
+            if use_scale:
+                acc = acc + scale * value[node]
+            else:
+                acc = acc + value[node]
+        out[i] = acc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Level-wise split scan
+# ----------------------------------------------------------------------
+
+@njit(cache=True, parallel=True)
+def _best_splits(x, ranks, y, w, rows, starts, lens, cand,
+                 min_leaf, min_child_weight):
+    """Best (feature, threshold) per split-eligible node, one level.
+
+    ``rows[starts[s] : starts[s] + lens[s]]`` holds node ``s``'s row
+    ids (ascending — the reference's subset order); ``cand[s]`` its
+    candidate features.  Per (node, feature): stable byte-radix sort of
+    the int32 dense-rank keys (stable sort by rank equals the
+    reference's stable argsort by value), sequential prefix sums in
+    ``np.cumsum`` order, then the reference scan — distinct-value check
+    on the x values themselves, ``min_child_weight`` floors, the exact
+    gain formula with its 1e-300 guards, NaN-poisoned first-maximum
+    argmax, strict improvement over 1e-12, first-feature tie-breaking,
+    and the midpoint-partitions-the-node validity test.
+
+    Returns ``(feat, thr)`` arrays with ``feat[s] == -1`` when no valid
+    split improves on the gain floor (the node becomes a leaf).
+    """
+    n_nodes = lens.shape[0]
+    k = cand.shape[1]
+    out_feat = np.full(n_nodes, -1, dtype=np.int64)
+    out_thr = np.zeros(n_nodes)
+    for s in prange(n_nodes):
+        start = starts[s]
+        cnt = lens[s]
+        idx0 = np.empty(cnt, dtype=np.int64)
+        idx1 = np.empty(cnt, dtype=np.int64)
+        key = np.empty(cnt, dtype=np.int64)
+        xs = np.empty(cnt)
+        cw = np.empty(cnt)
+        cwy = np.empty(cnt)
+        count = np.empty(256, dtype=np.int64)
+        best_gain = 1e-12
+        best_feat = -1
+        best_thr = 0.0
+        for c in range(k):
+            feat = cand[s, c]
+            mx = np.int64(0)
+            for i in range(cnt):
+                kv = np.int64(ranks[rows[start + i], feat])
+                key[i] = kv
+                idx0[i] = i
+                if kv > mx:
+                    mx = kv
+            # Stable LSD byte-radix sort of the rank keys: equal keys
+            # keep ascending position order, reproducing the stable
+            # argsort tie order of the reference scan.
+            shift = 0
+            while True:
+                for b in range(256):
+                    count[b] = 0
+                for i in range(cnt):
+                    count[(key[idx0[i]] >> shift) & 255] += 1
+                tot = np.int64(0)
+                for b in range(256):
+                    cb = count[b]
+                    count[b] = tot
+                    tot += cb
+                for i in range(cnt):
+                    b = (key[idx0[i]] >> shift) & 255
+                    idx1[count[b]] = idx0[i]
+                    count[b] += 1
+                tmp = idx0
+                idx0 = idx1
+                idx1 = tmp
+                shift += 8
+                if (mx >> shift) == 0:
+                    break
+            # Sorted gathers + sequential prefix sums (the accumulation
+            # order of np.cumsum, so every partial is bit-identical).
+            acc_w = 0.0
+            acc_wy = 0.0
+            for i in range(cnt):
+                r = rows[start + idx0[i]]
+                xs[i] = x[r, feat]
+                wi = w[r]
+                acc_w = acc_w + wi
+                acc_wy = acc_wy + wi * y[r]
+                cw[i] = acc_w
+                cwy[i] = acc_wy
+            total_w = cw[cnt - 1]
+            total_wy = cwy[cnt - 1]
+            if total_w <= 0.0:
+                continue
+            base = total_wy * total_wy / total_w
+            # First-maximum scan over valid positions; a NaN gain wins
+            # immediately (np.argmax treats NaN as maximal).
+            g_best = -np.inf
+            pos_best = -1
+            for pos in range(min_leaf - 1, cnt - min_leaf):
+                if not (xs[pos] < xs[pos + 1]):
+                    continue
+                wl = cw[pos]
+                wr = total_w - wl
+                if min_child_weight > 0.0 and not (
+                        wl >= min_child_weight and wr >= min_child_weight):
+                    continue
+                sl = cwy[pos]
+                sr = total_wy - sl
+                wl_safe = wl if wl > 1e-300 else 1e-300
+                wr_safe = wr if wr > 1e-300 else 1e-300
+                g = sl * sl / wl_safe + sr * sr / wr_safe
+                g = g - base
+                if np.isnan(g):
+                    g_best = g
+                    pos_best = pos
+                    break
+                if g > g_best:
+                    g_best = g
+                    pos_best = pos
+            if pos_best < 0:
+                continue
+            if not (g_best > best_gain):
+                # Covers NaN best gains too: nan > x is False, exactly
+                # like the reference's `gain[k] > best_gain` skip.
+                continue
+            thr = 0.5 * (xs[pos_best] + xs[pos_best + 1])
+            if not (xs[0] <= thr and (thr < xs[cnt - 1]
+                                      or np.isnan(xs[cnt - 1]))):
+                continue
+            best_gain = g_best
+            best_feat = feat
+            best_thr = thr
+        out_feat[s] = best_feat
+        out_thr[s] = best_thr
+    return out_feat, out_thr
+
+
+def grow_tree_native(
+    x: np.ndarray,
+    y: np.ndarray,
+    weight: np.ndarray,
+    *,
+    max_depth: int | None,
+    min_samples_leaf: int,
+    min_child_weight: float,
+    max_features: int | None,
+    rng: np.random.Generator | None,
+    ranks: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Grow one CART tree with the compiled split scan.
+
+    The orchestration is the reference builder's breadth-first level
+    loop verbatim (per-level node values via ``np.average``, the same
+    eligibility tests, one batched :func:`draw_candidates` per level,
+    the same ``x <= thr`` partition) — only the per-node split search
+    runs in :func:`_best_splits`, batched over the whole level.
+    Returns the standard flat arrays, bit-identical to both existing
+    engines.
+    """
+    n, m = x.shape
+    if ranks is None:
+        ranks = dense_ranks(x)
+    xc = np.ascontiguousarray(x, dtype=float)
+    yc = np.ascontiguousarray(y, dtype=float)
+    wc = np.ascontiguousarray(weight, dtype=float)
+    ranks32 = np.ascontiguousarray(ranks, dtype=np.int32)
+    subsample = max_features is not None and max_features < m
+
+    features: list[int] = []
+    thresholds: list[float] = []
+    lefts: list[int] = []
+    rights: list[int] = []
+    values: list[float] = []
+    train_leaf = np.empty(n, dtype=np.int64)
+
+    def new_node() -> int:
+        features.append(_NO_FEATURE)
+        thresholds.append(0.0)
+        lefts.append(-1)
+        rights.append(-1)
+        values.append(0.0)
+        return len(features) - 1
+
+    root = new_node()
+    level: list[tuple[int, np.ndarray]] = [(root, np.arange(n))]
+    depth = 0
+    while level:
+        eligible: list[tuple[int, np.ndarray]] = []
+        for node, idx in level:
+            y_node = yc[idx]
+            w_node = wc[idx]
+            w_sum = w_node.sum()
+            values[node] = (float(np.average(y_node, weights=w_node))
+                            if w_sum > 0 else 0.0)
+            if (
+                (max_depth is not None and depth >= max_depth)
+                or len(idx) < 2 * min_samples_leaf
+                or np.all(y_node == y_node[0])
+            ):
+                train_leaf[idx] = node
+            else:
+                eligible.append((node, idx))
+
+        next_level: list[tuple[int, np.ndarray]] = []
+        if eligible:
+            cand = (draw_candidates(rng, len(eligible), m, max_features)
+                    if subsample else None)
+            lens = np.array([idx.size for _, idx in eligible],
+                            dtype=np.int64)
+            starts = np.concatenate(
+                ([0], np.cumsum(lens)[:-1])).astype(np.int64)
+            rows = np.concatenate([idx for _, idx in eligible]).astype(
+                np.int64)
+            if cand is None:
+                cmat = np.ascontiguousarray(np.broadcast_to(
+                    np.arange(m, dtype=np.int64), (len(eligible), m)))
+            else:
+                cmat = np.ascontiguousarray(cand, dtype=np.int64)
+            feat_out, thr_out = _best_splits(
+                xc, ranks32, yc, wc, rows, starts, lens, cmat,
+                min_samples_leaf, float(min_child_weight))
+            for j, (node, idx) in enumerate(eligible):
+                feat = int(feat_out[j])
+                if feat < 0:
+                    train_leaf[idx] = node
+                    continue
+                thr = float(thr_out[j])
+                go_left = xc[idx, feat] <= thr
+                left_id = new_node()
+                right_id = new_node()
+                features[node] = feat
+                thresholds[node] = thr
+                lefts[node] = left_id
+                rights[node] = right_id
+                next_level.append((left_id, idx[go_left]))
+                next_level.append((right_id, idx[~go_left]))
+        level = next_level
+        depth += 1
+
+    return (
+        np.array(features, dtype=np.int64),
+        np.array(thresholds, dtype=float),
+        np.array(lefts, dtype=np.int64),
+        np.array(rights, dtype=np.int64),
+        np.array(values, dtype=float),
+        train_leaf,
+    )
+
+
+def _forest_chunk_native(context, start: int, stop: int) -> list:
+    """Trees ``[start, stop)`` of a fanned-out :func:`grow_forest_native`.
+
+    The parent drew every bootstrap and spawned every per-tree
+    generator before chunking (the shared engine protocol), so this
+    range grows exactly the trees the serial loop grows at the same
+    positions.  Workers arrive with the kernels warm (see
+    ``_init_worker``), so no chunk pays a compilation.
+    """
+    x = context["x"]
+    y = context["y"]
+    boot = context["boot"]
+    ranks = context["ranks"]
+    rngs = context["rngs"]
+    results = []
+    for t in range(start, stop):
+        idx = boot[t]
+        results.append(grow_tree_native(
+            x[idx], y[idx], np.ones(idx.size),
+            max_depth=context["max_depth"],
+            min_samples_leaf=context["min_samples_leaf"],
+            min_child_weight=0.0,
+            max_features=context["max_features"],
+            rng=rngs[t],
+            ranks=ranks[idx],
+        ))
+    return results
+
+
+def grow_forest_native(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_trees: int,
+    max_depth: int | None,
+    min_samples_leaf: int,
+    max_features: int | None,
+    rng: np.random.Generator,
+    jobs: int | None = 1,
+    chunk_trees: int | None = None,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """All bootstrap trees of a forest through the compiled split scan.
+
+    Consumes the generator exactly like both existing engines — all
+    bootstrap draws first, then one spawned child generator per tree —
+    so trees are independent of scheduling and bit-identical to the
+    serial fit for any ``jobs``/``chunk_trees`` setting.  The dense
+    rank matrix is computed once and gathered per bootstrap sample
+    (dense ranks order-embed any row subset).
+    """
+    n, m = x.shape
+    boot = [rng.integers(0, n, size=n) for _ in range(n_trees)]
+    rngs = rng.spawn(n_trees)
+    ranks = dense_ranks(x)
+    if (jobs is None or jobs > 1) and n_trees > 1:
+        from repro.experiments.parallel import run_chunked
+
+        parts = run_chunked(
+            _forest_chunk_native, n_trees, jobs=jobs,
+            chunk_rows=chunk_trees,
+            context={"rngs": rngs, "max_depth": max_depth,
+                     "min_samples_leaf": min_samples_leaf,
+                     "max_features": max_features},
+            shared={"x": np.ascontiguousarray(x, dtype=float),
+                    "y": np.ascontiguousarray(y, dtype=float),
+                    "boot": np.stack(boot), "ranks": ranks})
+        return [tree for part in parts for tree in part]
+    results = []
+    for t in range(n_trees):
+        idx = boot[t]
+        results.append(grow_tree_native(
+            x[idx], y[idx], np.ones(idx.size),
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf,
+            min_child_weight=0.0, max_features=max_features,
+            rng=rngs[t], ranks=ranks[idx],
+        ))
+    return results
+
+
+def warmup() -> None:
+    """Run every kernel once on tiny inputs (compile or cache-load)."""
+    rank_inf = np.iinfo(np.int32).max
+    feature = np.zeros(1, dtype=np.int32)
+    thr_rank = np.full(1, rank_inf, dtype=np.int32)
+    left = np.zeros(1, dtype=np.int32)
+    value = np.zeros(1)
+    roots = np.zeros(1, dtype=np.int64)
+    ranks = np.zeros((1, 1), dtype=np.int32)
+    stacked_sum(feature, thr_rank, left, value, roots, ranks,
+                0.0, 1.0, False, rank_inf)
+    stacked_sum(feature, thr_rank, left, value, roots, ranks,
+                0.0, 0.5, True, rank_inf)
+    x = np.array([[0.0], [1.0], [0.25], [0.75]])
+    y = np.array([0.0, 1.0, 0.0, 1.0])
+    w = np.ones(4)
+    _best_splits(
+        x, np.ascontiguousarray(dense_ranks(x), dtype=np.int32), y, w,
+        np.arange(4, dtype=np.int64), np.zeros(1, dtype=np.int64),
+        np.full(1, 4, dtype=np.int64), np.zeros((1, 1), dtype=np.int64),
+        1, 0.0)

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engines import resolve as _resolve_engine
 from repro.metamodels._kernels import StackedEnsemble, dense_ranks
-from repro.metamodels.tree import _ENGINES, DecisionTreeRegressor
+from repro.metamodels.tree import DecisionTreeRegressor
 
 __all__ = ["GradientBoostingModel"]
 
@@ -39,8 +40,8 @@ class GradientBoostingModel:
     (L2 on leaf values), ``subsample``, ``colsample`` (per tree),
     ``min_child_weight`` (hessian floor per leaf).  ``engine`` selects
     the tree-growing and prediction kernels (``"vectorized"`` /
-    ``"reference"``); fitted models and predictions are bit-identical
-    between the two.  ``jobs``/``chunk_rows`` fan the stacked
+    ``"reference"`` / ``"native"``); fitted models and predictions are
+    bit-identical across all three.  ``jobs``/``chunk_rows`` fan the stacked
     prediction walk out over worker processes against shared-memory
     query ranks — a pure throughput knob, bit-identical at every
     setting and irrelevant to fitting.
@@ -68,8 +69,7 @@ class GradientBoostingModel:
             raise ValueError(f"subsample must be in (0, 1], got {subsample}")
         if not 0.0 < colsample <= 1.0:
             raise ValueError(f"colsample must be in (0, 1], got {colsample}")
-        if engine not in _ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+        engine = _resolve_engine(engine)
         self.n_rounds = n_rounds
         self.learning_rate = learning_rate
         self.max_depth = max_depth
@@ -108,7 +108,8 @@ class GradientBoostingModel:
         # Features never change across rounds: the vectorized engine
         # ranks them once and every round's tree reuses the (gathered)
         # integer ranks — dense ranks order-embed any row/column subset.
-        x_ranks = dense_ranks(x) if self.engine == "vectorized" else None
+        x_ranks = (dense_ranks(x)
+                   if self.engine in ("vectorized", "native") else None)
         for _ in range(self.n_rounds):
             prob = _sigmoid(raw)
             grad = prob - y
@@ -151,7 +152,8 @@ class GradientBoostingModel:
 
     def _ensure_stacked(self) -> StackedEnsemble | None:
         """Build (once) the stacked prediction tables of a fitted model."""
-        if self.engine == "vectorized" and self.trees_ and self._stacked is None:
+        if (self.engine in ("vectorized", "native") and self.trees_
+                and self._stacked is None):
             self._stacked = StackedEnsemble(
                 [tree for tree, _ in self.trees_],
                 columns=[cols for _, cols in self.trees_])
@@ -162,10 +164,11 @@ class GradientBoostingModel:
         if not self.trees_:
             raise RuntimeError("model is not fitted; call fit() first")
         x = np.asarray(x, dtype=float)
-        if self.engine == "vectorized":
+        if self.engine in ("vectorized", "native"):
             return self._ensure_stacked().leaf_value_sum(
                 x, scale=self.learning_rate, init=self.base_score_,
-                jobs=self.jobs, chunk_rows=self.chunk_rows)
+                jobs=self.jobs, chunk_rows=self.chunk_rows,
+                native=self.engine == "native")
         raw = np.full(len(x), self.base_score_)
         for tree, cols in self.trees_:
             raw += self.learning_rate * tree.predict(x[:, cols])

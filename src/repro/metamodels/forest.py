@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engines import resolve as _resolve_engine
 from repro.metamodels._kernels import StackedEnsemble, grow_forest
-from repro.metamodels.tree import _ENGINES, DecisionTreeRegressor
+from repro.metamodels.tree import DecisionTreeRegressor
 
 __all__ = ["RandomForestModel"]
 
@@ -42,8 +43,11 @@ class RandomForestModel:
         Seed of the internal generator (bootstraps + feature draws).
     engine:
         ``"vectorized"`` (block tree growth + stacked prediction,
-        default) or ``"reference"`` (per-tree loops); fitted trees and
-        predictions are bit-identical between the two.
+        default), ``"reference"`` (per-tree loops) or ``"native"``
+        (compiled numba kernels for the level-wise split scan and the
+        stacked walk; silently resolves to ``"vectorized"`` when numba
+        is missing).  Fitted trees and predictions are bit-identical
+        across all three.
     jobs:
         Worker processes (None = all CPUs, default 1) for prediction
         *and* for the vectorized fit: the stacked walk fans contiguous
@@ -72,8 +76,7 @@ class RandomForestModel:
     ) -> None:
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1, got {n_trees}")
-        if engine not in _ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+        engine = _resolve_engine(engine)
         self.n_trees = n_trees
         self.max_features = max_features
         self.min_samples_leaf = min_samples_leaf
@@ -109,12 +112,22 @@ class RandomForestModel:
 
         self.trees_ = []
         self._stacked = None
-        if self.engine == "vectorized":
-            for arrays in grow_forest(
-                x, y, n_trees=self.n_trees, max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=mtry, rng=rng, jobs=self.jobs,
-            ):
+        if self.engine in ("vectorized", "native"):
+            if self.engine == "native":
+                from repro.metamodels._native import grow_forest_native
+
+                grown = grow_forest_native(
+                    x, y, n_trees=self.n_trees, max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=mtry, rng=rng, jobs=self.jobs,
+                )
+            else:
+                grown = grow_forest(
+                    x, y, n_trees=self.n_trees, max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=mtry, rng=rng, jobs=self.jobs,
+                )
+            for arrays in grown:
                 tree = DecisionTreeRegressor(
                     max_depth=self.max_depth,
                     min_samples_leaf=self.min_samples_leaf,
@@ -139,7 +152,8 @@ class RandomForestModel:
 
     def _ensure_stacked(self) -> StackedEnsemble | None:
         """Build (once) the stacked prediction tables of a fitted forest."""
-        if self.engine == "vectorized" and self.trees_ and self._stacked is None:
+        if (self.engine in ("vectorized", "native") and self.trees_
+                and self._stacked is None):
             self._stacked = StackedEnsemble(self.trees_)
         return self._stacked
 
@@ -148,9 +162,10 @@ class RandomForestModel:
         if not self.trees_:
             raise RuntimeError("forest is not fitted; call fit() first")
         x = np.asarray(x, dtype=float)
-        if self.engine == "vectorized":
+        if self.engine in ("vectorized", "native"):
             total = self._ensure_stacked().leaf_value_sum(
-                x, jobs=self.jobs, chunk_rows=self.chunk_rows)
+                x, jobs=self.jobs, chunk_rows=self.chunk_rows,
+                native=self.engine == "native")
         else:
             total = np.zeros(len(x))
             for tree in self.trees_:

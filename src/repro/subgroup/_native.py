@@ -1,0 +1,139 @@
+"""Compiled (numba) subgroup kernels — the ``engine="native"`` backend.
+
+Two scan-bound walks of the BestInterval beam search get compiled
+twins here:
+
+* :func:`max_sum_run_native` — the max-sum-run search over per-group
+  WRAcc weight sums.  The kernel replicates the vectorized scorer's
+  operation order exactly (sequential ``cumsum`` prefixes, a
+  NaN-propagating running minimum, first-maximum argmax with NaN
+  poisoning, the rightmost-tied-minimum run start), so refined bounds
+  are bit-identical to both existing engines.
+* :func:`box_membership` — the interval part of the batched
+  membership kernel (``contains_many``), ``prange`` over boxes with
+  the same comparison direction as the numpy broadcasts (every
+  dimension is compared, restricted or not, so NaN rows fall outside
+  exactly as before).  Categorical restrictions stay in Python on top
+  of the kernel's boolean matrix, through the very same
+  ``cat_mask`` helper the other engines use.
+
+Kernels are ``@njit(cache=True)`` — compiled once to disk, loaded by
+pool workers via :func:`repro.engines.warmup_native`.  Without numba
+the decorator is the identity and the kernels run as plain Python
+(the ``REDS_NATIVE_PUREPY`` testing hook).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines import njit, prange
+
+__all__ = ["max_sum_run_native", "box_membership", "warmup"]
+
+
+@njit(cache=True)
+def _max_sum_run_kernel(s):
+    """(start, end, best) of the max-sum run — vectorized-scorer ops.
+
+    Sequential prefix sums (the accumulation order of ``np.cumsum``),
+    a NaN-propagating running minimum (``np.minimum.accumulate``
+    semantics), ``scores[i] = prefix[i] - min(running_min[i-1], 0.0)``,
+    a first-maximum argmax where NaN wins immediately, and the run
+    start at the latest prefix achieving the floor — every intermediate
+    is bit-identical to :func:`repro.subgroup._kernels.max_sum_run`.
+    """
+    n = s.shape[0]
+    prefix = np.empty(n)
+    running_min = np.empty(n)
+    scores = np.empty(n)
+    prefix[0] = s[0]
+    for i in range(1, n):
+        prefix[i] = prefix[i - 1] + s[i]
+    running_min[0] = prefix[0]
+    for i in range(1, n):
+        pm = running_min[i - 1]
+        pi = prefix[i]
+        if np.isnan(pm) or np.isnan(pi):
+            running_min[i] = np.nan
+        elif pi < pm:
+            running_min[i] = pi
+        else:
+            running_min[i] = pm
+    scores[0] = prefix[0]
+    for i in range(1, n):
+        rm = running_min[i - 1]
+        if rm < 0.0 or np.isnan(rm):
+            floor = rm
+        else:
+            floor = 0.0
+        scores[i] = prefix[i] - floor
+    end = 0
+    best = scores[0]
+    if not np.isnan(best):
+        for i in range(1, n):
+            v = scores[i]
+            if np.isnan(v):
+                end = i
+                best = v
+                break
+            if v > best:
+                end = i
+                best = v
+    if end == 0:
+        floor_at_end = 0.0
+    else:
+        rm = running_min[end - 1]
+        # Python's builtin min(rm, 0.0): 0.0 only when 0.0 < rm.
+        floor_at_end = 0.0 if 0.0 < rm else rm
+    start = 0
+    for j in range(end - 1, -1, -1):
+        if prefix[j] == floor_at_end:
+            start = j + 1
+            break
+    return start, end, best
+
+
+def max_sum_run_native(sums: np.ndarray) -> tuple[int, int, float]:
+    """Drop-in compiled twin of
+    :func:`repro.subgroup._kernels.max_sum_run`."""
+    s = np.ascontiguousarray(sums, dtype=float)
+    if len(s) == 0:
+        return 0, 0, float(-np.inf)
+    start, end, best = _max_sum_run_kernel(s)
+    return int(start), int(end), float(best)
+
+
+@njit(cache=True, parallel=True)
+def box_membership(lowers, uppers, xt):
+    """Interval membership of every point in every box.
+
+    ``xt`` is the data transposed to (dim, n) C-order so each
+    dimension's sweep streams contiguous memory (the same locality
+    trick as the Fortran-order numpy kernel).  Every dimension is
+    compared — even unrestricted ones, whose infinite bounds still
+    exclude NaN values — so the boolean matrix equals the numpy
+    broadcasts bit for bit.
+    """
+    n_boxes = lowers.shape[0]
+    dim = xt.shape[0]
+    n = xt.shape[1]
+    out = np.empty((n_boxes, n), dtype=np.bool_)
+    for b in prange(n_boxes):
+        for i in range(n):
+            out[b, i] = True
+        for j in range(dim):
+            lo = lowers[b, j]
+            hi = uppers[b, j]
+            for i in range(n):
+                v = xt[j, i]
+                if not (v >= lo and v <= hi):
+                    out[b, i] = False
+    return out
+
+
+def warmup() -> None:
+    """Run every kernel once on tiny inputs (compile or cache-load)."""
+    _max_sum_run_kernel(np.array([1.0, -2.0, 3.0]))
+    box_membership(np.zeros((1, 2)), np.ones((1, 2)),
+                   np.zeros((2, 3)))

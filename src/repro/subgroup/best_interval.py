@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engines import KNOWN_ENGINES
+from repro.engines import resolve as _resolve_engine
 from repro.subgroup._kernels import (
     SortedDataset,
     best_cat_subset,
@@ -44,9 +46,10 @@ from repro.subgroup.box import Hyperbox, cat_mask
 __all__ = ["BIResult", "BI_ENGINES", "best_interval", "best_interval_for_dim",
            "wracc"]
 
-#: Valid beam-search engines: the sort-once kernel and the re-sorting
-#: masking reference.
-BI_ENGINES = ("vectorized", "reference")
+#: Valid beam-search engines — the central registry's names: the
+#: sort-once kernel, the re-sorting masking reference, and the compiled
+#: (numba) kernels riding the same sort-once index.
+BI_ENGINES = KNOWN_ENGINES
 
 
 def wracc(box: Hyperbox, x: np.ndarray, y: np.ndarray,
@@ -210,8 +213,10 @@ class _VectorizedRefiner:
     incremental candidate scoring."""
 
     def __init__(self, x: np.ndarray, y: np.ndarray, base_rate: float,
-                 cat_cols: frozenset = frozenset()) -> None:
-        self.dataset = SortedDataset(x, y, base_rate)
+                 cat_cols: frozenset = frozenset(),
+                 native: bool = False) -> None:
+        self.native = bool(native)
+        self.dataset = SortedDataset(x, y, base_rate, native=native)
         self.binary = bool(np.all((y == 0.0) | (y == 1.0)))
         self.positives = (y == 1.0) if self.binary else None
         self.cat_cols = cat_cols
@@ -291,7 +296,8 @@ class _VectorizedRefiner:
         if stashed is None:
             # columns is already Fortran-ordered, so the kernel's
             # column-contiguous conversion is a no-op.
-            inside = contains_many((box,), dataset.columns)[0]
+            inside = contains_many((box,), dataset.columns,
+                                   native=self.native)[0]
         else:
             except_mask, j = stashed
             column = dataset.columns[:, j]
@@ -339,8 +345,12 @@ def best_interval(
         ``"vectorized"`` (the default) runs refinements over a shared
         sort-once column index with memoization and batched candidate
         scoring; ``"reference"`` keeps the original per-call re-sorting
-        loops.  Both return identical results bit for bit (see
-        ``tests/test_bi_equivalence.py``).
+        loops; ``"native"`` rides the same sort-once index with the
+        compiled max-sum-run and membership kernels (silently resolving
+        to ``"vectorized"`` when numba is missing).  All return
+        identical results bit for bit (see
+        ``tests/test_bi_equivalence.py`` and
+        ``tests/test_native_equivalence.py``).
     cat_cols:
         Column indices holding categorical codes.  Refining such a
         dimension selects the WRAcc-optimal unordered *subset* of its
@@ -362,8 +372,7 @@ def best_interval(
         raise ValueError(f"x and y disagree: {len(x)} vs {len(y)}")
     if beam_size < 1:
         raise ValueError(f"beam_size must be >= 1, got {beam_size}")
-    if engine not in BI_ENGINES:
-        raise ValueError(f"engine must be one of {BI_ENGINES}, got {engine!r}")
+    engine = _resolve_engine(engine)
     cat_cols = frozenset(int(c) for c in cat_cols)
     if any(c < 0 or c >= x.shape[1] for c in cat_cols):
         raise ValueError(f"cat_cols out of range for {x.shape[1]} columns: "
@@ -372,9 +381,10 @@ def best_interval(
     dim = x.shape[1]
     max_restricted = dim if depth is None else max(1, depth)
     base_rate = float(y.mean())
-    refiner = (_VectorizedRefiner(x, y, base_rate, cat_cols)
-               if engine == "vectorized"
-               else _ReferenceRefiner(x, y, base_rate, cat_cols))
+    refiner = (_ReferenceRefiner(x, y, base_rate, cat_cols)
+               if engine == "reference"
+               else _VectorizedRefiner(x, y, base_rate, cat_cols,
+                                       native=engine == "native"))
 
     start = Hyperbox.unrestricted(dim)
     beam: dict[tuple, tuple[Hyperbox, float]] = {start.key(): (start, 0.0)}

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engines import KNOWN_ENGINES
+from repro.engines import resolve as _resolve_engine
 from repro.subgroup import _kernels
 from repro.subgroup.box import Hyperbox, cat_mask
 
@@ -74,8 +76,10 @@ def _mean(values: np.ndarray) -> float:
 #: Valid peeling objectives (see module docstring).
 OBJECTIVES = ("mean", "gain", "wracc")
 
-#: Valid peeling engines: the fast kernel and the masking reference.
-ENGINES = ("vectorized", "reference")
+#: Valid peeling engines — the central registry's names.  PRIM has no
+#: gather-bound walk of its own, so ``"native"`` shares the vectorized
+#: peeler (all engines are bit-identical anyway).
+ENGINES = KNOWN_ENGINES
 
 
 def prim_peel(
@@ -111,9 +115,11 @@ def prim_peel(
         Peeling criterion: ``"mean"`` (original PRIM), ``"gain"`` or
         ``"wracc"`` (Kwakkel & Jaxa-Rozen style alternatives).
     engine:
-        ``"vectorized"`` (sort-once/prefix-sum kernel, the default) or
-        ``"reference"`` (per-candidate masking); both return identical
-        results.
+        ``"vectorized"`` (sort-once/prefix-sum kernel, the default),
+        ``"reference"`` (per-candidate masking) or ``"native"`` (the
+        registry's compiled-kernel engine — PRIM's peeling has no
+        gather-bound walk, so it shares the vectorized peeler); all
+        return identical results.
     cat_cols:
         Column indices holding categorical codes.  Those dimensions
         peel one category at a time — one candidate per removable level,
@@ -144,8 +150,7 @@ def prim_peel(
         raise ValueError("x_val and y_val must be provided together")
     if objective not in OBJECTIVES:
         raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
-    if engine not in ENGINES:
-        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    engine = _resolve_engine(engine)
     if x_val is None:
         x_val, y_val = x, y
     else:

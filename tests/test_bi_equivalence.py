@@ -110,7 +110,7 @@ class TestEngineEquivalence:
         x, y = make_dataset("continuous", seed=0)
         with pytest.raises(ValueError, match="engine"):
             best_interval(x, y, engine="turbo")
-        assert set(BI_ENGINES) == {"vectorized", "reference"}
+        assert set(BI_ENGINES) == {"vectorized", "reference", "native"}
 
 
 class TestSortedDatasetRefinement:

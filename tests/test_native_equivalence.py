@@ -1,0 +1,388 @@
+"""Differential tests: the compiled ``native`` engine vs both others.
+
+The contract of ``engine="native"`` (ISSUE 9): every layer — tree /
+forest / boosting fit and predict, BestInterval, PRIM, ``discover`` —
+returns results *bit-identical* to the ``reference`` and
+``vectorized`` engines, under categorical columns, sample weights,
+tied values, degenerate data, worker fan-out and injected faults
+alike; and on a runner without numba the name silently resolves to
+``vectorized`` after exactly one warning.
+
+The suite runs with ``REDS_NATIVE_PUREPY=1``: the native kernels
+execute as plain Python (the ``@njit`` shim is the identity), so the
+exact code numba would compile is exercised on numba-less runners too
+— at interpreter speed, which is why the datasets here are small.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import engines
+from repro.cli import build_parser
+from repro.core.methods import discover
+from repro.engines import HAVE_NUMBA, available_engines, resolve
+from repro.experiments import faults
+from repro.experiments.harness import run_batch
+from repro.metamodels._native import grow_tree_native
+from repro.metamodels.boosting import GradientBoostingModel
+from repro.metamodels.forest import RandomForestModel
+from repro.metamodels.tree import DecisionTreeRegressor
+from repro.subgroup import _kernels
+from repro.subgroup._native import box_membership, max_sum_run_native
+from repro.subgroup.best_interval import best_interval
+from repro.subgroup.box import Hyperbox
+from repro.subgroup.prim import prim_peel
+
+ENGINES = ("reference", "vectorized", "native")
+
+
+@pytest.fixture(autouse=True)
+def _purepy_native(monkeypatch):
+    """Force pure-Python native kernels; clean the process flags up."""
+    monkeypatch.setenv("REDS_NATIVE_PUREPY", "1")
+    yield
+    monkeypatch.delenv("REDS_NATIVE_ACTIVE", raising=False)
+
+
+def _datasets():
+    """Small but adversarial datasets: ties, constant columns, noise,
+    near-degenerate labels."""
+    out = []
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(160, 5))
+    y = ((x[:, 0] > 0.1) & (x[:, 2] < 0.4)).astype(float)
+    out.append(("continuous", x, y))
+
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 4, size=(150, 4)).astype(float)  # heavy ties
+    y = ((x[:, 0] >= 2) ^ (rng.random(150) < 0.2)).astype(float)
+    out.append(("tied", x, y))
+
+    rng = np.random.default_rng(2)
+    x = rng.random((120, 4))
+    x[:, 1] = 0.5  # constant column: no valid split there
+    y = (x[:, 0] > 0.6).astype(float)
+    out.append(("constant-col", x, y))
+
+    x = np.ones((40, 3))
+    y = np.zeros(40)  # pure node at the root
+    out.append(("degenerate", x, y))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_known_engines_listed(self):
+        assert available_engines() == ("vectorized", "reference", "native")
+
+    def test_unknown_engine_raises_listing_valid_names(self):
+        with pytest.raises(ValueError, match="vectorized.*reference.*native"):
+            resolve("turbo")
+
+    def test_native_resolves_when_ready(self):
+        assert resolve("native") == "native"
+
+    def test_warmup_native_runs(self):
+        assert engines.warmup_native() is True
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="fallback needs numba absent")
+    def test_fallback_warns_once_and_returns_vectorized(self, monkeypatch):
+        monkeypatch.delenv("REDS_NATIVE_PUREPY", raising=False)
+        monkeypatch.setattr(engines, "_warned_fallback", False)
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            assert resolve("native") == "vectorized"
+            assert resolve("native") == "vectorized"
+        ours = [w for w in rec if issubclass(w.category, RuntimeWarning)]
+        assert len(ours) == 1
+        assert "numba" in str(ours[0].message)
+        assert "[native]" in str(ours[0].message)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="fallback needs numba absent")
+    def test_fallback_keeps_model_usable(self, monkeypatch):
+        monkeypatch.delenv("REDS_NATIVE_PUREPY", raising=False)
+        monkeypatch.setattr(engines, "_warned_fallback", True)
+        _, x, y = _datasets()[0]
+        model = RandomForestModel(n_trees=3, engine="native").fit(x, y)
+        assert model.engine == "vectorized"
+        expected = RandomForestModel(n_trees=3).fit(x, y).predict_proba(x)
+        np.testing.assert_array_equal(model.predict_proba(x), expected)
+
+
+# ----------------------------------------------------------------------
+# Metamodels
+# ----------------------------------------------------------------------
+
+def _assert_same_trees(trees_a, trees_b):
+    assert len(trees_a) == len(trees_b)
+    for ta, tb in zip(trees_a, trees_b):
+        if isinstance(ta, tuple):
+            ta, tb = ta[0], tb[0]
+        for attr in ("feature", "threshold", "left", "right", "value",
+                     "train_leaf_"):
+            np.testing.assert_array_equal(
+                getattr(ta, attr), getattr(tb, attr), err_msg=attr)
+
+
+class TestMetamodelEquivalence:
+    @pytest.mark.parametrize("name,x,y", _datasets())
+    def test_tree_fit_identical(self, name, x, y):
+        trees = [DecisionTreeRegressor(max_depth=6, engine=engine).fit(x, y)
+                 for engine in ENGINES]
+        _assert_same_trees([trees[0]], [trees[1]])
+        _assert_same_trees([trees[0]], [trees[2]])
+
+    def test_tree_weighted_min_child_weight_identical(self):
+        rng = np.random.default_rng(7)
+        x = rng.random((130, 4))
+        y = (x[:, 0] + 0.3 * x[:, 1] > 0.7).astype(float)
+        w = rng.random(130) * 2.0
+        trees = [
+            DecisionTreeRegressor(max_depth=5, min_child_weight=1.5,
+                                  engine=engine).fit(x, y, sample_weight=w)
+            for engine in ENGINES
+        ]
+        _assert_same_trees([trees[0]], [trees[1]])
+        _assert_same_trees([trees[0]], [trees[2]])
+
+    @pytest.mark.parametrize("name,x,y", _datasets()[:3])
+    def test_forest_fit_and_predict_identical(self, name, x, y):
+        models = [RandomForestModel(n_trees=8, seed=3, engine=engine).fit(x, y)
+                  for engine in ENGINES]
+        _assert_same_trees(models[0].trees_, models[1].trees_)
+        _assert_same_trees(models[0].trees_, models[2].trees_)
+        xq = np.random.default_rng(9).random((200, x.shape[1]))
+        ref = models[0].predict_proba(xq)
+        for model in models[1:]:
+            np.testing.assert_array_equal(model.predict_proba(xq), ref)
+
+    def test_forest_native_fanout_identical(self):
+        _, x, y = _datasets()[0]
+        serial = RandomForestModel(n_trees=6, seed=1,
+                                   engine="native").fit(x, y)
+        fanned = RandomForestModel(n_trees=6, seed=1, engine="native",
+                                   jobs=2).fit(x, y)
+        _assert_same_trees(serial.trees_, fanned.trees_)
+        xq = np.random.default_rng(4).random((150, x.shape[1]))
+        np.testing.assert_array_equal(serial.predict_proba(xq),
+                                      fanned.predict_proba(xq))
+
+    def test_boosting_fit_and_predict_identical(self):
+        _, x, y = _datasets()[0]
+        models = [
+            GradientBoostingModel(n_rounds=12, max_depth=3, seed=2,
+                                  subsample=0.8, colsample=0.8,
+                                  min_child_weight=0.5,
+                                  engine=engine).fit(x, y)
+            for engine in ENGINES
+        ]
+        _assert_same_trees(models[0].trees_, models[1].trees_)
+        _assert_same_trees(models[0].trees_, models[2].trees_)
+        xq = np.random.default_rng(5).random((200, x.shape[1]))
+        ref = models[0].decision_function(xq)
+        for model in models[1:]:
+            np.testing.assert_array_equal(model.decision_function(xq), ref)
+
+    def test_stacked_walk_native_matches_over_jobs(self):
+        _, x, y = _datasets()[1]  # tied values stress the rank walk
+        model = RandomForestModel(n_trees=5, seed=8,
+                                  engine="native").fit(x, y)
+        xq = np.random.default_rng(6).random((300, x.shape[1]))
+        single = model.predict_proba(xq)
+        stacked = model._ensure_stacked()
+        fanned = stacked.leaf_value_sum(xq, jobs=2, native=True)
+        np.testing.assert_array_equal(fanned / len(model.trees_), single)
+
+    def test_grow_tree_native_rng_protocol_matches(self):
+        """Feature subsampling consumes the generator identically."""
+        rng = np.random.default_rng(12)
+        x = rng.random((100, 6))
+        y = (x[:, 0] > 0.5).astype(float)
+        arrays = grow_tree_native(
+            x, y, np.ones(100), max_depth=4, min_samples_leaf=1,
+            min_child_weight=0.0, max_features=2,
+            rng=np.random.default_rng(77))
+        tree = DecisionTreeRegressor(max_depth=4, max_features=2,
+                                     rng=np.random.default_rng(77),
+                                     engine="reference").fit(x, y)
+        for got, want in zip(arrays, (tree.feature, tree.threshold,
+                                      tree.left, tree.right, tree.value,
+                                      tree.train_leaf_)):
+            np.testing.assert_array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Subgroup kernels
+# ----------------------------------------------------------------------
+
+class TestSubgroupKernels:
+    def test_max_sum_run_native_matches(self):
+        cases = [
+            np.array([1.0]),
+            np.array([-1.0, -2.0, -0.5]),
+            np.array([0.0, 0.0, 0.0]),
+            np.array([1.0, -2.0, 3.0, -1.0, 2.0]),
+            np.array([]),
+        ]
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            n = int(rng.integers(1, 40))
+            s = rng.normal(size=n)
+            s[rng.random(n) < 0.3] = 0.0  # exact ties in the prefixes
+            cases.append(s)
+        for s in cases:
+            assert max_sum_run_native(s) == _kernels.max_sum_run(s)
+
+    def test_max_sum_run_native_nan_semantics_match(self):
+        s = np.array([1.0, np.nan, 2.0, -1.0])
+        ns, ne, nb = max_sum_run_native(s)
+        vs, ve, vb = _kernels.max_sum_run(s)
+        assert (ns, ne) == (vs, ve)
+        assert np.isnan(nb) and np.isnan(vb)
+
+    def test_contains_many_native_matches(self):
+        rng = np.random.default_rng(10)
+        x = rng.random((200, 4))
+        x[0, 2] = np.nan  # NaN rows must fall outside identically
+        boxes = []
+        for seed in range(12):
+            gen = np.random.default_rng(seed)
+            box = Hyperbox.unrestricted(4)
+            for j in range(4):
+                if gen.random() < 0.5:
+                    lo, hi = np.sort(gen.random(2))
+                    box = box.replace(j, lower=lo, upper=hi)
+            boxes.append(box)
+        # One categorical box: codes on column 3.
+        xc = x.copy()
+        xc[:, 3] = rng.integers(0, 3, size=200)
+        cat_box = Hyperbox.unrestricted(4).with_cats(3, (0.0, 2.0))
+        for data, box_set in ((x, boxes), (xc, boxes + [cat_box])):
+            plain = _kernels.contains_many(box_set, data)
+            native = _kernels.contains_many(box_set, data, native=True)
+            np.testing.assert_array_equal(native, plain)
+
+    def test_box_membership_every_dim_compared(self):
+        """Unrestricted dims still exclude NaN, like the broadcasts."""
+        x = np.array([[0.5, np.nan], [0.5, 0.5]])
+        out = box_membership(
+            np.array([[-np.inf, -np.inf]]), np.array([[np.inf, np.inf]]),
+            np.ascontiguousarray(x.T))
+        assert out.tolist() == [[False, True]]
+
+
+# ----------------------------------------------------------------------
+# Subgroup discovery end to end
+# ----------------------------------------------------------------------
+
+def _bi_key(result):
+    return (result.box.key(), result.wracc, result.n_iterations)
+
+
+def _prim_key(result):
+    return (tuple(b.key() for b in result.boxes), result.chosen,
+            tuple(result.train_means), tuple(result.val_means))
+
+
+class TestSubgroupEquivalence:
+    @pytest.mark.parametrize("name,x,y", _datasets()[:3])
+    def test_best_interval_identical(self, name, x, y):
+        results = [best_interval(x, y, beam_size=3, engine=engine)
+                   for engine in ENGINES]
+        assert _bi_key(results[0]) == _bi_key(results[1])
+        assert _bi_key(results[0]) == _bi_key(results[2])
+
+    def test_best_interval_categorical_identical(self):
+        rng = np.random.default_rng(21)
+        x = rng.random((150, 4))
+        x[:, 3] = rng.integers(0, 4, size=150)
+        y = ((x[:, 0] > 0.4) & (x[:, 3] >= 2)).astype(float)
+        results = [best_interval(x, y, beam_size=2, engine=engine,
+                                 cat_cols=(3,))
+                   for engine in ENGINES]
+        assert _bi_key(results[0]) == _bi_key(results[1])
+        assert _bi_key(results[0]) == _bi_key(results[2])
+
+    def test_prim_identical(self):
+        rng = np.random.default_rng(22)
+        x = rng.random((150, 4))
+        x[:, 3] = rng.integers(0, 3, size=150)
+        y = ((x[:, 0] > 0.3) & (x[:, 3] <= 1)).astype(float)
+        results = [prim_peel(x, y, min_support=10, engine=engine,
+                             cat_cols=(3,))
+                   for engine in ENGINES]
+        assert _prim_key(results[0]) == _prim_key(results[1])
+        assert _prim_key(results[0]) == _prim_key(results[2])
+
+    def test_discover_reds_identical(self):
+        rng = np.random.default_rng(23)
+        x = rng.random((120, 3))
+        y = ((x[:, 0] > 0.4) & (x[:, 1] < 0.7)).astype(float)
+        outs = []
+        for engine in ENGINES:
+            result = discover("RPx", x, y, seed=5, n_new=300,
+                              tune_metamodel=False, engine=engine)
+            outs.append((tuple(b.key() for b in result.boxes),
+                         result.chosen_box.key(), result.train_quality))
+        assert outs[0] == outs[1]
+        assert outs[0] == outs[2]
+
+
+# ----------------------------------------------------------------------
+# Chaos: native under injected faults
+# ----------------------------------------------------------------------
+
+class TestNativeChaos:
+    def test_native_grid_bit_identical_under_worker_crashes(
+            self, monkeypatch):
+        """A fanned-out native grid survives injected worker crashes
+        (with retries) and returns records bit-identical to the
+        fault-free serial run."""
+        grid = dict(functions=("willetal06",), methods=("P",),
+                    n=100, n_reps=2, test_size=800, engine="native")
+        baseline = run_batch(grid["functions"], grid["methods"],
+                             grid["n"], grid["n_reps"],
+                             test_size=grid["test_size"], engine="native")
+        monkeypatch.setenv("REDS_FAULT_PLAN", "seed=13,worker_crash=0.3")
+        faults.clear_injection_log()
+        try:
+            records = run_batch(grid["functions"], grid["methods"],
+                                grid["n"], grid["n_reps"],
+                                test_size=grid["test_size"],
+                                engine="native", jobs=2, retries=6)
+        finally:
+            faults.clear_injection_log()
+        assert len(records) == len(baseline)
+        for a, b in zip(baseline, records):
+            assert (a.function, a.method, a.n, a.seed) == \
+                   (b.function, b.method, b.n, b.seed)
+            assert a.pr_auc == b.pr_auc
+            assert a.precision == b.precision
+            assert a.wracc == b.wracc
+            np.testing.assert_array_equal(a.chosen_box.lower,
+                                          b.chosen_box.lower)
+            np.testing.assert_array_equal(a.chosen_box.upper,
+                                          b.chosen_box.upper)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestCLI:
+    def test_engine_native_accepted(self):
+        args = build_parser().parse_args(
+            ["discover", "--function", "morris", "--engine", "native"])
+        assert args.engine == "native"
+
+    def test_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", "--function", "morris", "--engine", "turbo"])
+        err = capsys.readouterr().err
+        assert "native" in err  # the choices list names all engines

@@ -119,7 +119,7 @@ class TestEngineEquivalence:
         x, y = make_dataset("continuous", seed=0)
         with pytest.raises(ValueError, match="engine"):
             prim_peel(x, y, engine="turbo")
-        assert set(ENGINES) == {"vectorized", "reference"}
+        assert set(ENGINES) == {"vectorized", "reference", "native"}
 
 
 class TestSingleStepKernel:

@@ -23,6 +23,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engines import native_ready
 from repro.subgroup import (
     Hyperbox,
     best_interval,
@@ -32,6 +33,11 @@ from repro.subgroup import (
     prim_peel,
 )
 from repro.subgroup.bumping import _pareto_front_reference
+
+#: Engines differentially tested; ``native`` joins when its kernels can
+#: execute (numba installed, or ``REDS_NATIVE_PUREPY=1``).
+DIFF_ENGINES = (("reference", "vectorized", "native") if native_ready()
+                else ("reference", "vectorized"))
 
 
 # ----------------------------------------------------------------------
@@ -89,6 +95,9 @@ def test_contains_many_agrees_with_per_row_contains(data, payload):
     batched = contains_many(boxes, x)
     for row, box in zip(batched, boxes):
         np.testing.assert_array_equal(row, box.contains(x))
+    if native_ready():
+        np.testing.assert_array_equal(
+            contains_many(boxes, x, native=True), batched)
 
 
 @given(payload=mixed_datasets())
@@ -116,13 +125,15 @@ def test_peeling_never_increases_coverage_and_engines_agree(payload):
     results = {
         engine: prim_peel(x, y, min_support=5, cat_cols=cat_cols,
                           engine=engine)
-        for engine in ("reference", "vectorized")
+        for engine in DIFF_ENGINES
     }
-    ref, vec = results["reference"], results["vectorized"]
-    assert [b.key() for b in ref.boxes] == [b.key() for b in vec.boxes]
-    np.testing.assert_array_equal(ref.train_means, vec.train_means)
-    np.testing.assert_array_equal(ref.train_support, vec.train_support)
-    assert ref.chosen == vec.chosen
+    ref = results["reference"]
+    for vec in (results[engine] for engine in DIFF_ENGINES[1:]):
+        assert [b.key() for b in ref.boxes] == [b.key() for b in vec.boxes]
+        np.testing.assert_array_equal(ref.train_means, vec.train_means)
+        np.testing.assert_array_equal(ref.train_support, vec.train_support)
+        assert ref.chosen == vec.chosen
+    vec = results["vectorized"]
     # Peeling is monotone: every box nests in its predecessor.
     supports = [int(box.contains(x).sum()) for box in vec.boxes]
     assert all(a >= b for a, b in zip(supports, supports[1:]))
@@ -137,10 +148,12 @@ def test_peeling_never_increases_coverage_and_engines_agree(payload):
 @given(payload=mixed_datasets(max_rows=120))
 def test_best_interval_engines_agree_and_wracc_is_consistent(payload):
     x, y, cat_cols, _ = payload
-    ref = best_interval(x, y, cat_cols=cat_cols, engine="reference")
-    vec = best_interval(x, y, cat_cols=cat_cols, engine="vectorized")
-    assert ref.box.key() == vec.box.key()
-    assert ref.wracc == vec.wracc
+    results = {engine: best_interval(x, y, cat_cols=cat_cols, engine=engine)
+               for engine in DIFF_ENGINES}
+    ref, vec = results["reference"], results["vectorized"]
+    for other in (results[engine] for engine in DIFF_ENGINES[1:]):
+        assert ref.box.key() == other.box.key()
+        assert ref.wracc == other.wracc
     # The reported WRAcc is the box's actual WRAcc on the data.
     inside = vec.box.contains(x)
     n = len(y)
