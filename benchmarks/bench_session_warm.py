@@ -1,0 +1,167 @@
+"""Benchmark: warm execution sessions vs one-shot cold calls.
+
+A scenario-discovery service answers a stream of labeling requests
+over the same simulated dataset: fit a metamodel, label a fresh pool.
+One-shot, every request pays the full cold start — metamodel fit, pool
+spawn, shared-memory publish.  Inside a
+:class:`repro.experiments.session.Session` the fit is memoized by
+content key, worker pools survive across calls, and published segments
+stay resident — so a steady-state request pays only the labeling walk.
+
+This benchmark times ``CALLS`` cold one-shot requests against the same
+requests through one warm session and records the observable reuse:
+pool spawns (``REDS_SPAWN_LOG`` lines), segment publications, fit-memo
+hits, and the number of shm segments left after session close (must be
+zero).  Outputs are asserted bit-identical — warm serving is a cache,
+never a different computation.
+
+The ``>= 3x`` steady-state floor is asserted on the cached-metamodel
+path: a warm call that hits the fit memo skips the dominant cost, so
+the floor holds wherever the memo applies — ``floor_asserted`` records
+truthfully whether the warm loop actually hit it.  ``jobs`` is pinned
+at 2, so counts are CPU-count independent (a 1-CPU container asserts
+the same numbers).  Machine-readable results land in
+``benchmarks/results/BENCH_session_warm.json`` and are mirrored to the
+tracked repo-root ``results/``.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _common import emit, emit_json
+from repro.core.reds import fit_metamodel, fit_stats, reset_fit_stats
+from repro.experiments import dataplane
+from repro.experiments.dataplane import resident_stats, reset_resident_stats
+from repro.experiments.parallel import pool_stats, reset_pool_stats
+from repro.experiments.session import Session
+from repro.metamodels.base import predict_chunked
+
+N, M = 1200, 8
+L = 30_000
+CALLS = 5
+JOBS = 2
+
+#: Asserted whenever the warm loop actually hit the fit memo: a
+#: steady-state warm request must beat the one-shot cold path by at
+#: least this factor (the fit it skips dominates the request).
+WARM_FLOOR = 3.0
+
+
+def _dataset():
+    rng = np.random.default_rng(23)
+    x = rng.random((N, M))
+    rule = (x[:, 0] > 0.3) & (x[:, 1] + 0.4 * x[:, 2] < 0.9)
+    flip = rng.random(N) < 0.2
+    y = (rule ^ flip).astype(float)
+    pool = rng.random((L, M))
+    return x, y, pool
+
+
+def _shm_segments() -> set:
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return set()
+    return {name for name in os.listdir(root)
+            if name.startswith(dataplane.SEGMENT_PREFIX)}
+
+
+def test_session_warm_speedup(benchmark):
+    x, y, pool = _dataset()
+    spawn_log = Path(tempfile.mkdtemp()) / "spawns.log"
+    os.environ["REDS_SPAWN_LOG"] = str(spawn_log)
+    segments_before = _shm_segments()
+
+    def cold_request():
+        fitted = fit_metamodel("boosting", x, y, tune=False)
+        return predict_chunked(fitted, pool, jobs=JOBS)
+
+    def run():
+        out = {}
+        cold_times, cold_labels = [], []
+        for _ in range(CALLS):
+            t0 = time.perf_counter()
+            cold_labels.append(cold_request())
+            cold_times.append(time.perf_counter() - t0)
+        cold_spawns = len(spawn_log.read_text().splitlines())
+
+        reset_pool_stats()
+        reset_resident_stats()
+        reset_fit_stats()
+        warm_times, warm_labels = [], []
+        with Session(jobs=JOBS, tune=False) as session:
+            for _ in range(CALLS):
+                t0 = time.perf_counter()
+                warm_labels.append(session.label(x, y, pool))
+                warm_times.append(time.perf_counter() - t0)
+            out["pools"] = pool_stats()
+            out["dataplane"] = resident_stats()
+            out["metamodel"] = fit_stats()
+        out["cold_times"] = cold_times
+        out["warm_times"] = warm_times
+        out["cold_spawns"] = cold_spawns
+        out["warm_spawns"] = (len(spawn_log.read_text().splitlines())
+                              - cold_spawns)
+        for labels in cold_labels + warm_labels:
+            assert np.array_equal(labels, cold_labels[0]), \
+                "warm serving changed the labels"
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    leaked = sorted(_shm_segments() - segments_before)
+
+    cold_mean = float(np.mean(out["cold_times"]))
+    # Steady state: every warm call after the first (the first pays the
+    # one fit the session then serves CALLS - 1 times from the memo).
+    warm_steady = float(np.mean(out["warm_times"][1:]))
+    speedup = cold_mean / warm_steady
+    hits = out["metamodel"]["hits"]
+    floor_asserted = hits > 0
+
+    emit("session_warm", "\n".join([
+        f"warm session vs one-shot, N={N}, M={M}, L={L}, "
+        f"{CALLS} requests, jobs={JOBS}:",
+        f"  cold one-shot        {cold_mean * 1e3:8.0f} ms/request   "
+        f"{out['cold_spawns']} pool spawn(s)",
+        f"  warm steady-state    {warm_steady * 1e3:8.0f} ms/request   "
+        f"{out['warm_spawns']} pool spawn(s)   {speedup:5.2f} x",
+        f"  fit memo: {out['metamodel']['fits']} fit(s), {hits} hit(s); "
+        f"pools: {out['pools']['spawned']} spawned, "
+        f"{out['pools']['reused']} reused; segments: "
+        f"{out['dataplane']['published']} published, "
+        f"{out['dataplane']['reused']} republishes avoided; "
+        f"{len(leaked)} leaked after close",
+    ]))
+
+    emit_json("BENCH_session_warm", {
+        "n": N, "m": M, "l": L, "calls": CALLS, "jobs": JOBS,
+        "cold_seconds_per_request": cold_mean,
+        "warm_steady_seconds_per_request": warm_steady,
+        "warm_first_seconds": out["warm_times"][0],
+        "speedup": speedup,
+        "cold_pool_spawns": out["cold_spawns"],
+        "warm_pool_spawns": out["warm_spawns"],
+        "pools_spawned": out["pools"]["spawned"],
+        "pools_reused": out["pools"]["reused"],
+        "segments_published": out["dataplane"]["published"],
+        "segments_reused": out["dataplane"]["reused"],
+        "metamodel_fits": out["metamodel"]["fits"],
+        "metamodel_hits": hits,
+        "leaked_segments": len(leaked),
+        "warm_floor": WARM_FLOOR,
+        "floor_asserted": floor_asserted,
+    })
+
+    # A session must never leak segments, whatever the speedup.
+    assert leaked == [], f"leaked shm segments after close: {leaked}"
+    # Each warm call after the first must be served entirely from warm
+    # state: one pool spawn and one publish per distinct signature.
+    assert out["warm_spawns"] <= out["pools"]["spawned"]
+    assert out["pools"]["reused"] >= CALLS - 1
+    if floor_asserted:
+        assert speedup >= WARM_FLOOR, (
+            f"steady-state warm speedup {speedup:.2f}x is below the "
+            f"{WARM_FLOOR}x floor")

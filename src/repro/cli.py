@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the everyday workflows:
+Four commands cover the everyday workflows:
 
 * ``list-models`` — the Table 1 catalogue with measured shares;
 * ``discover`` — run one method on one simulation model and print the
   scenario (rule form, trajectory summary, test metrics);
 * ``compare`` — run several methods with repetitions and print a
-  Table 3-style comparison.
+  Table 3-style comparison;
+* ``session`` — the same comparison served from one warm execution
+  session (cached pools, resident data plane, memoized metamodel
+  fits), printing the warm-cache counters alongside the table.
 """
 
 from __future__ import annotations
@@ -117,6 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--no-cache", dest="resume", action="store_false",
                        help="with --store, ignore cached records; recompute "
                             "everything and overwrite the store entries")
+
+    warm = sub.add_parser(
+        "session",
+        help="compare methods through one warm execution session")
+    warm.add_argument("--function", required=True)
+    warm.add_argument("--methods", default="P,RPx,RPxp",
+                      help="comma-separated method names, served one batch "
+                           "per method against shared warm state (methods "
+                           "over the same metamodel share one fit)")
+    warm.add_argument("--n", type=int, default=400)
+    warm.add_argument("--reps", type=int, default=5)
+    warm.add_argument("--n-new", type=int, default=20_000)
+    warm.add_argument("--no-tune", action="store_true")
+    warm.add_argument("--test-size", type=int, default=10_000)
+    warm.add_argument("--engine", choices=available_engines(),
+                      default="vectorized",
+                      help="kernel engine threaded into every request")
+    warm.add_argument("--jobs", type=int, default=1,
+                      help="total worker budget for the session "
+                           "(0 = all CPUs); pools are cached per "
+                           "(workers, lease, plan signature) and reused "
+                           "across requests")
+    warm.add_argument("--store", metavar="DIR", default=None,
+                      help="persistent result store shared by the "
+                           "session's requests")
     return parser
 
 
@@ -251,6 +279,60 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_session(args: argparse.Namespace) -> int:
+    from repro.experiments.session import Session
+
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    store = open_store(args.store)
+    all_records = []
+    with Session(jobs=args.jobs if args.jobs > 0 else None,
+                 engine=args.engine, tune=not args.no_tune):
+        # One batch per method: within the session the batches share
+        # cached pools, resident test/train arrays and memoized
+        # metamodel fits — e.g. RPx and RPxp reuse one fitted model.
+        for method in methods:
+            all_records.extend(run_batch(
+                (args.function,), (method,), args.n, args.reps,
+                n_new=args.n_new,
+                tune_metamodel=not args.no_tune,
+                test_size=args.test_size,
+                jobs=args.jobs if args.jobs > 0 else None,
+                store=store,
+                engine=args.engine,
+            ))
+        from repro.core.reds import fit_stats
+        from repro.experiments.dataplane import resident_stats
+        from repro.experiments.parallel import pool_stats
+
+        pools = pool_stats()
+        plane = resident_stats()
+        fits = fit_stats()
+    if store is not None:
+        print(f"store {args.store}: {store.hits} cached, "
+              f"{store.writes} computed")
+    aggregated = aggregate(all_records)
+    rows = {method: aggregated[(args.function, method)] for method in methods}
+    print(format_table(
+        f"{args.function}: N={args.n}, {args.reps} repetitions (warm session)",
+        rows,
+        (("pr_auc", "PR AUC %", 100.0),
+         ("precision", "precision %", 100.0),
+         ("wracc", "WRAcc %", 100.0),
+         ("consistency", "consistency %", 100.0),
+         ("n_restricted", "# restricted", 1.0),
+         ("n_irrelevant", "# irrel", 1.0),
+         ("runtime", "runtime s", 1.0)),
+        method_order=methods,
+    ))
+    print(f"\nwarm session: {fits['fits']} metamodel fit(s), "
+          f"{fits['hits']} memo hit(s); "
+          f"{pools['spawned']} pool(s) spawned, "
+          f"{pools['reused']} checkout(s) served warm; "
+          f"{plane['published']} segment(s) published, "
+          f"{plane['reused']} republish(es) avoided")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-models":
@@ -259,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_discover(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "session":
+        return _cmd_session(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

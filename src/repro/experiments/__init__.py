@@ -13,6 +13,9 @@ knobs) so grids are resumable, incremental and shardable;
 :mod:`repro.experiments.faults` is the deterministic fault-injection
 harness (``REDS_FAULT_PLAN``) behind the substrate's retry/timeout/
 degradation machinery — chaos tests replay bit-identically;
+:mod:`repro.experiments.session` is the warm execution session
+(cached worker pools, resident data plane, memoized metamodel fits)
+serving repeated discovery work without per-call cold costs;
 :mod:`repro.experiments.design` holds the per-table/figure experiment
 configurations; :mod:`repro.experiments.report` renders the paper's
 table rows and figure series as text; :mod:`repro.experiments.stats`
@@ -37,6 +40,9 @@ from repro.experiments.dataplane import (
     DataPlane,
     content_key,
     dataplane_enabled,
+    resident_stats,
+    session_active,
+    shutdown_resident,
 )
 from repro.experiments.design import BenchScale, scale_from_env, EXPERIMENTS
 from repro.experiments.faults import FaultPlan, InjectedFault, parse_fault_plan
@@ -49,14 +55,17 @@ from repro.experiments.parallel import (
     SerialExecutor,
     ShardedExecutor,
     TaskFailure,
+    close_pools,
     compile_plan,
     default_jobs,
     execute,
     get_executor,
     parse_shard,
+    pool_stats,
     run_chunked,
     warm_test_cache,
 )
+from repro.experiments.session import Session
 from repro.experiments.store import (
     ExperimentStore,
     ExperimentStoreError,
@@ -79,8 +88,12 @@ __all__ = [
     "register_test_data",
     "ArrayRef",
     "DataPlane",
+    "Session",
     "content_key",
     "dataplane_enabled",
+    "resident_stats",
+    "session_active",
+    "shutdown_resident",
     "BenchScale",
     "scale_from_env",
     "EXPERIMENTS",
@@ -95,11 +108,13 @@ __all__ = [
     "SerialExecutor",
     "ShardedExecutor",
     "TaskFailure",
+    "close_pools",
     "compile_plan",
     "default_jobs",
     "execute",
     "get_executor",
     "parse_shard",
+    "pool_stats",
     "run_chunked",
     "warm_test_cache",
     "ExperimentStore",

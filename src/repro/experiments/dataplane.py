@@ -36,6 +36,19 @@ Design:
   embed the creating pid, so anything whose creator is no longer alive
   is an orphan.  The sweep is opt-in via ``REDS_DATAPLANE_SWEEP=1``
   because pid liveness is a heuristic (pids recycle).
+* **Resident segments under a warm session.**  With ``REDS_SESSION``
+  set (:func:`session_active`, see
+  :mod:`repro.experiments.session`) planes publish through a
+  process-wide **segment registry** instead of owning segments
+  privately: the first publish of a content key creates the segment,
+  every later publish — from any plane, any plan — reuses it, and
+  :meth:`DataPlane.unlink` merely drops a refcount.  Segments persist
+  across plans (that is the point: the same test sample or query
+  matrix is published once per *session*, not once per call, which
+  also keeps pool-context signatures stable for the warm pool cache of
+  :mod:`repro.experiments.parallel`) until :func:`shutdown_resident`
+  — called by session teardown and ``atexit`` — unlinks them all, so
+  a closed session still leaves zero ``/dev/shm`` entries behind.
 
 Worker-side attaches are cached per process and unregistered from the
 ``multiprocessing`` resource tracker: on Python < 3.13 an attaching
@@ -51,6 +64,7 @@ import hashlib
 import logging
 import os
 import secrets
+import threading
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -69,8 +83,13 @@ __all__ = [
     "DataPlane",
     "content_key",
     "dataplane_enabled",
+    "session_active",
     "resolve_refs",
     "active_segments",
+    "resident_stats",
+    "reset_resident_stats",
+    "resident_segment_names",
+    "shutdown_resident",
     "sweep_orphan_segments",
 ]
 
@@ -85,6 +104,19 @@ def dataplane_enabled() -> bool:
     """Whether refs may use shared memory (``REDS_DATAPLANE=0`` opts out)."""
     return _shm_module is not None and \
         os.environ.get("REDS_DATAPLANE", "1") != "0"
+
+
+def session_active() -> bool:
+    """Whether a warm execution session is active in this process tree.
+
+    Read from the ``REDS_SESSION`` environment variable (set by
+    :class:`repro.experiments.session.Session`, inherited by pool
+    workers) so every layer — pool cache, resident segment registry,
+    metamodel memo — flips to warm behaviour together, in the parent
+    and in nested fan-outs alike.  Unset, empty or ``"0"`` means off:
+    the one-shot semantics every pre-session test pins.
+    """
+    return os.environ.get("REDS_SESSION", "") not in ("", "0")
 
 
 def content_key(array: np.ndarray) -> str:
@@ -165,6 +197,133 @@ class ArrayRef:
 _PLANES: "weakref.WeakSet[DataPlane]" = weakref.WeakSet()
 
 
+# ----------------------------------------------------------------------
+# Resident segment registry (warm sessions)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _ResidentEntry:
+    """One registry slot: the shared ref, its handle, and who uses it.
+
+    ``handle`` is the owning ``SharedMemory`` object (``None`` for an
+    inline-fallback ref, which has no segment to unlink).  ``refcount``
+    counts the planes currently holding the ref; it may drop to zero —
+    the segment *stays resident* then, that is the warm-session point —
+    and only :func:`shutdown_resident` actually unlinks anything.
+    """
+
+    ref: ArrayRef
+    handle: object | None
+    refcount: int
+
+
+_RESIDENT_LOCK = threading.Lock()
+_RESIDENT: dict[str, _ResidentEntry] = {}
+_RESIDENT_STATS = {"published": 0, "reused": 0}
+_CHILD_FINALIZER = False
+
+
+def _reset_resident_after_fork() -> None:
+    # A forked worker inherits the registry by copy, but those segments
+    # belong to the parent: unlinking them at worker exit would pull
+    # live data out from under every sibling.  The child abandons the
+    # inherited entries (the attach cache keeps working — resolves are
+    # per-name, not per-registry) and registers only what it publishes
+    # itself.  Fresh lock in case the inherited one was held mid-fork.
+    # The finalizer flag must also reset: the parent may have set it
+    # (to a no-op) before forking, and an inherited True would stop the
+    # child from ever registering its own exit hook — leaking every
+    # segment the child publishes.
+    global _RESIDENT_LOCK, _CHILD_FINALIZER
+    _RESIDENT_LOCK = threading.Lock()
+    _CHILD_FINALIZER = False
+    _RESIDENT.clear()
+    _RESIDENT_STATS["published"] = 0
+    _RESIDENT_STATS["reused"] = 0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_reset_resident_after_fork)
+
+
+def _ensure_child_finalizer() -> None:
+    """In a pool worker, arrange unlinking of *its own* resident segments.
+
+    ``atexit`` hooks never run in multiprocessing children, but
+    ``multiprocessing.util.Finalize`` hooks do — a worker whose nested
+    plans publish resident segments registers one so a clean worker
+    shutdown leaves nothing in ``/dev/shm`` (a SIGKILLed worker cannot
+    run any hook; ``sweep_orphan_segments`` covers that case).
+    """
+    global _CHILD_FINALIZER
+    if _CHILD_FINALIZER:
+        return
+    _CHILD_FINALIZER = True
+    import multiprocessing
+    from multiprocessing import util as mp_util
+
+    if multiprocessing.parent_process() is not None:
+        mp_util.Finalize(None, shutdown_resident, exitpriority=10)
+
+
+def resident_stats() -> dict[str, int]:
+    """Registry counters: segments ``published`` (created), publishes
+    served from residency (``reused``), and currently ``resident``."""
+    with _RESIDENT_LOCK:
+        return {**_RESIDENT_STATS, "resident": len(_RESIDENT)}
+
+
+def reset_resident_stats() -> None:
+    """Zero the published/reused counters (tests and benchmarks)."""
+    with _RESIDENT_LOCK:
+        _RESIDENT_STATS["published"] = 0
+        _RESIDENT_STATS["reused"] = 0
+
+
+def resident_segment_names() -> list[str]:
+    """Names of the live resident segments (empty after
+    :func:`shutdown_resident`; the zero-leak assertions read this)."""
+    with _RESIDENT_LOCK:
+        return [entry.ref.segment for entry in _RESIDENT.values()
+                if entry.ref.segment is not None]
+
+
+@atexit.register
+def shutdown_resident() -> list[str]:
+    """Unlink every resident segment and empty the registry.
+
+    Called by session teardown
+    (:meth:`repro.experiments.session.Session.close`) and as an
+    ``atexit`` hook, so a warm session — however it ends — leaves zero
+    ``/dev/shm`` entries behind.  Idempotent; returns the names of the
+    segments that were removed.  Publishes after a shutdown simply
+    repopulate the registry (a new session starts cold).
+    """
+    with _RESIDENT_LOCK:
+        entries = list(_RESIDENT.values())
+        _RESIDENT.clear()
+    removed: list[str] = []
+    for entry in entries:
+        if entry.handle is None:
+            continue
+        name = entry.ref.segment
+        _ATTACHED.pop(name, None)
+        try:
+            entry.handle.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        try:
+            entry.handle.close()
+        except BufferError:
+            # A resolved view is still referenced somewhere; the name is
+            # gone already, the mapping dies with the process.
+            pass
+        except OSError:  # pragma: no cover - platform specific
+            pass
+        removed.append(name)
+    return removed
+
+
 class DataPlane:
     """Parent-side broker of shared-memory segments for one plan.
 
@@ -173,11 +332,23 @@ class DataPlane:
     :meth:`unlink` when the plan finishes — the executors do this in
     ``finally`` blocks so segments never outlive their plan, poisoned
     tasks included.
+
+    ``resident`` routes publishes through the process-wide segment
+    registry: arrays already resident are reused (same segment name,
+    hence byte-identical refs across plans), new ones are created in
+    the registry, and :meth:`unlink` drops refcounts instead of
+    unlinking — segments then live until :func:`shutdown_resident`.
+    The default (``None``) follows :func:`session_active` at
+    construction time, so warm sessions get residency everywhere
+    without threading a flag through every ``execute()`` call.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, resident: bool | None = None) -> None:
         self._segments: dict[str, ArrayRef] = {}
         self._handles: dict[str, object] = {}
+        self._resident = session_active() if resident is None \
+            else bool(resident)
+        self._resident_keys: list[str] = []
         self._unlinked = False
         _PLANES.add(self)
         global _SWEPT
@@ -194,6 +365,80 @@ class DataPlane:
         self._segments[key] = ref
         return ref
 
+    def _allocate(self, array: np.ndarray,
+                  key: str) -> tuple[ArrayRef, object] | None:
+        """Create one shm segment for ``array``: ``(ref, handle)``.
+
+        Returns ``None`` when allocation fails (``/dev/shm`` full,
+        permissions, an injected ``shm_publish_fail``) — the caller
+        degrades to an inline ref.  The parent's attach cache is seated
+        so in-process resolves reuse this mapping for free.
+        """
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(6)}"
+        try:
+            faults.maybe_inject("shm_publish_fail", key)
+            segment = _shm_module.SharedMemory(
+                create=True, size=max(array.nbytes, 1), name=name)
+        except (faults.InjectedFault, OSError) as exc:
+            logger.warning(
+                "shared-memory publish failed for %s (%s); degrading to an "
+                "inline ref", key[:12], exc)
+            return None
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        view.setflags(write=False)
+        ref = ArrayRef(key=key, shape=array.shape,
+                       dtype=array.dtype.str, segment=name)
+        _ATTACHED[name] = (segment, view)
+        return ref, segment
+
+    def _publish_resident(self, array: np.ndarray, key: str) -> ArrayRef:
+        """Publish through the process-wide registry (warm sessions).
+
+        A key already resident is reused — same segment, same ref bytes
+        across plans — with its refcount bumped; a new key allocates a
+        segment owned by the *registry* (not this plane), so it outlives
+        the plan and every later publish of the same content is free.
+        Allocation failure degrades to a plane-local inline ref exactly
+        like the one-shot path (degraded publishes are not cached: a
+        transient failure should not pin an inline copy for the whole
+        session).
+        """
+        with _RESIDENT_LOCK:
+            entry = _RESIDENT.get(key)
+            if entry is not None:
+                entry.refcount += 1
+                _RESIDENT_STATS["reused"] += 1
+                self._segments[key] = entry.ref
+                self._resident_keys.append(key)
+                return entry.ref
+        allocated = self._allocate(array, key)
+        if allocated is None:
+            return self._inline_ref(array, key)
+        ref, segment = allocated
+        _ensure_child_finalizer()
+        with _RESIDENT_LOCK:
+            racing = _RESIDENT.get(key)
+            if racing is None:
+                _RESIDENT[key] = _ResidentEntry(ref, segment, 1)
+                _RESIDENT_STATS["published"] += 1
+            else:
+                racing.refcount += 1
+                _RESIDENT_STATS["reused"] += 1
+        if racing is not None:
+            # A concurrent publisher won the key; drop our duplicate
+            # segment and share theirs.
+            _ATTACHED.pop(ref.segment, None)
+            try:
+                segment.unlink()
+                segment.close()
+            except OSError:  # pragma: no cover - platform specific
+                pass
+            ref = racing.ref
+        self._segments[key] = ref
+        self._resident_keys.append(key)
+        return ref
+
     def publish(self, array: np.ndarray, key: str | None = None) -> ArrayRef:
         """Place ``array`` in shared memory and return its ref.
 
@@ -202,7 +447,9 @@ class DataPlane:
         the data (content addressing makes that safe).  With shared
         memory disabled — or when allocating the segment fails — the
         ref carries a read-only copy inline: publishing degrades, it
-        never raises for lack of shared memory.
+        never raises for lack of shared memory.  A resident plane
+        consults the process-wide registry first (see
+        :meth:`_publish_resident`).
         """
         if self._unlinked:
             raise RuntimeError("this data plane has been unlinked")
@@ -214,26 +461,14 @@ class DataPlane:
             return existing
         if not dataplane_enabled():
             return self._inline_ref(array, key)
-        name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(6)}"
-        try:
-            faults.maybe_inject("shm_publish_fail", key)
-            segment = _shm_module.SharedMemory(
-                create=True, size=max(array.nbytes, 1), name=name)
-        except (faults.InjectedFault, OSError) as exc:
-            logger.warning(
-                "shared-memory publish failed for %s (%s); degrading to an "
-                "inline ref", key[:12], exc)
+        if self._resident:
+            return self._publish_resident(array, key)
+        allocated = self._allocate(array, key)
+        if allocated is None:
             return self._inline_ref(array, key)
-        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-        view[...] = array
-        view.setflags(write=False)
-        ref = ArrayRef(key=key, shape=array.shape,
-                       dtype=array.dtype.str, segment=name)
+        ref, segment = allocated
         self._segments[key] = ref
-        self._handles[name] = segment
-        # Seat the parent's attach cache so in-process resolves (serial
-        # executors, chunked fallbacks) reuse this mapping for free.
-        _ATTACHED[name] = (segment, view)
+        self._handles[ref.segment] = segment
         return ref
 
     def refs(self) -> dict[str, ArrayRef]:
@@ -258,6 +493,16 @@ class DataPlane:
         if self._unlinked:
             return
         self._unlinked = True
+        if self._resident_keys:
+            with _RESIDENT_LOCK:
+                for key in self._resident_keys:
+                    entry = _RESIDENT.get(key)
+                    if entry is not None:
+                        entry.refcount -= 1
+            # Entries stay registered at refcount 0: the whole point of
+            # residency is that the next plan's publish is free.  Actual
+            # unlinking happens in shutdown_resident() at session close.
+            self._resident_keys.clear()
         for name, segment in self._handles.items():
             try:
                 segment.unlink()

@@ -28,6 +28,12 @@ Injection points
 ``shm_publish_fail``
     Publishing an array to the shared-memory data plane fails; the plane
     degrades to an inline (pickled) reference.
+``pool_spawn_fail``
+    Spawning a worker pool fails in the dispatching process (as if the
+    OS refused the fork); execution degrades to the serial loop.  The
+    token is the pool's ``w<workers>-l<lease>`` shape, so the decision
+    is identical for a cold spawn and a warm-session respawn of the
+    same pool signature.
 
 Fault plans come from the ``REDS_FAULT_PLAN`` environment variable, a
 comma-separated ``key=value`` spec::
@@ -71,7 +77,8 @@ __all__ = [
 ]
 
 #: Names of the supported injection points.
-FAULT_POINTS = ("worker_crash", "task_hang", "store_write_torn", "shm_publish_fail")
+FAULT_POINTS = ("worker_crash", "task_hang", "store_write_torn",
+                "shm_publish_fail", "pool_spawn_fail")
 
 #: Exit status used when a pool worker is crashed by ``worker_crash``.
 CRASH_EXIT_CODE = 73

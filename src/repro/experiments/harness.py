@@ -103,6 +103,15 @@ def _variant_postprocess(x: np.ndarray, variant: str,
     return x
 
 
+#: Warm-session cache of training datasets, keyed by the full
+#: generation config.  Only consulted while ``REDS_SESSION`` is active
+#: (see :mod:`repro.experiments.session`); cached arrays are marked
+#: read-only so an accidental in-place mutation fails loudly instead of
+#: corrupting every later request.
+_TRAIN_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_TRAIN_CACHE_SIZE = 16
+
+
 def make_train_data(
     model: SimulationModel,
     n: int,
@@ -114,7 +123,17 @@ def make_train_data(
     For mixed-type models (``model.cat_cols`` non-empty) the design's
     categorical columns are quantized to integer codes before labeling,
     so ``D`` lives in the same space discovery and the test sample use.
+    Generation is a pure function of the arguments, so a warm session
+    memoizes the arrays instead of re-simulating per request.
     """
+    from repro.experiments.dataplane import session_active
+
+    key = None
+    if session_active():
+        key = (model.name, n, seed, variant)
+        cached = _TRAIN_CACHE.get(key)
+        if cached is not None:
+            return cached
     rng = np.random.default_rng(seed)
     if variant == "logitnormal":
         x = logit_normal(n, model.dim, rng)
@@ -122,7 +141,14 @@ def make_train_data(
         x = get_sampler(model.default_sampler)(n, model.dim, rng)
         x = _variant_postprocess(x, variant, rng)
     x = model.quantize(x)
-    return x, model.label(x, rng)
+    y = model.label(x, rng)
+    if key is not None:
+        x.setflags(write=False)
+        y.setflags(write=False)
+        while len(_TRAIN_CACHE) >= _TRAIN_CACHE_SIZE:
+            _TRAIN_CACHE.pop(next(iter(_TRAIN_CACHE)))
+        _TRAIN_CACHE[key] = (x, y)
+    return x, y
 
 
 #: Data-plane refs of test samples published by the execution plan,

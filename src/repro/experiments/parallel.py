@@ -89,14 +89,16 @@ sibling invocations publish theirs.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import logging
 import os
+import pickle
 import shutil
 import tempfile
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -114,6 +116,7 @@ from repro.experiments.dataplane import (
     DataPlane,
     dataplane_enabled,
     resolve_refs,
+    session_active,
 )
 from repro.experiments.store import MISSING, open_store
 
@@ -127,6 +130,7 @@ __all__ = [
     "TaskFailure",
     "EXECUTORS",
     "budgeted_jobs",
+    "close_pools",
     "compile_plan",
     "cpu_budget",
     "default_jobs",
@@ -134,6 +138,8 @@ __all__ = [
     "get_executor",
     "parse_shard",
     "plan_context",
+    "pool_stats",
+    "reset_pool_stats",
     "run_chunked",
     "warm_test_cache",
     "worker_budget",
@@ -661,6 +667,201 @@ def _kill_pool(pool) -> None:
 
 
 # ----------------------------------------------------------------------
+# Warm-session pool cache
+# ----------------------------------------------------------------------
+#
+# Under an active warm session (``REDS_SESSION=1``, normally set by
+# ``repro.experiments.session.Session``), pools survive across
+# ``execute()``/``run_chunked`` calls instead of being torn down per
+# plan.  A cache entry is keyed by ``(workers, lease, plan-context
+# signature)`` — the signature is the pickle digest of everything
+# ``_init_worker`` consumed, so a cached pool is *exactly* as
+# initialized as a fresh spawn for the same plan would be.  Checkout is
+# exclusive (the entry is popped), so a pool is never shared by two
+# concurrent plans; a healthy pool is checked back in when its plan
+# drains, a broken or poisoned one is simply never returned.
+
+_POOL_CACHE: "OrderedDict[tuple, ProcessPoolExecutor]" = OrderedDict()
+_POOL_LOCK = threading.Lock()
+_POOL_STATS = {"spawned": 0, "reused": 0}
+_CHILD_FINALIZER = False
+
+
+def _reset_pool_cache_after_fork() -> None:
+    # A forked child inherits the parent's cache by copy.  Those pool
+    # objects belong to the parent — shutting them down from here would
+    # poison the parent's live queues — so the child abandons the
+    # entries (the OS resources stay owned by the parent) and starts
+    # its own cache, with a fresh lock in case the inherited one was
+    # held mid-fork.
+    # The finalizer flag must also reset: the parent may have set it
+    # (to a no-op) before forking, and an inherited True would stop the
+    # child from ever registering its own exit hook for nested pools.
+    global _POOL_LOCK, _CHILD_FINALIZER
+    _POOL_LOCK = threading.Lock()
+    _CHILD_FINALIZER = False
+    _POOL_CACHE.clear()
+    _POOL_STATS["spawned"] = 0
+    _POOL_STATS["reused"] = 0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_reset_pool_cache_after_fork)
+
+
+def _ensure_child_finalizer() -> None:
+    """In a pool worker, arrange cleanup of *its own* cached pools.
+
+    ``atexit`` hooks never run in multiprocessing children (they exit
+    via ``os._exit`` after ``_bootstrap``), but
+    ``multiprocessing.util.Finalize`` hooks do — so a worker that
+    caches nested pools registers one, and its grandchild workers exit
+    cleanly when the session's top-level pool shuts down.
+    """
+    global _CHILD_FINALIZER
+    if _CHILD_FINALIZER:
+        return
+    _CHILD_FINALIZER = True
+    import multiprocessing
+    from multiprocessing import util as mp_util
+
+    if multiprocessing.parent_process() is not None:
+        mp_util.Finalize(None, close_pools, exitpriority=10)
+
+
+def _pool_cache_cap() -> int:
+    """Max cached pools, from ``REDS_SESSION_POOLS`` (default 8, 0 off)."""
+    try:
+        return max(int(os.environ.get("REDS_SESSION_POOLS", "8")), 0)
+    except ValueError:
+        return 8
+
+
+def _pool_key(plan: "ExecutionPlan", workers: int,
+              lease: int) -> tuple | None:
+    """Cache key for a pool serving ``plan``, or None when uncacheable.
+
+    Returns None outside a warm session, when caching is disabled, or
+    when the plan's init payload cannot be pickled (such a plan could
+    not reach a process pool anyway, but stay defensive: an uncacheable
+    plan just gets the historical spawn-per-call behaviour).
+    """
+    if not session_active() or _pool_cache_cap() == 0:
+        return None
+    try:
+        payload = pickle.dumps((plan.warmup, plan.test_refs, plan.context),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return (workers, lease, hashlib.sha256(payload).hexdigest())
+
+
+def _checkout_pool(key: tuple | None) -> ProcessPoolExecutor | None:
+    """Pop a cached pool for ``key`` (exclusive), or None on a miss."""
+    if key is None:
+        return None
+    with _POOL_LOCK:
+        pool = _POOL_CACHE.pop(key, None)
+        if pool is not None:
+            _POOL_STATS["reused"] += 1
+    return pool
+
+
+def _checkin_pool(key: tuple | None, pool) -> None:
+    """Return a healthy pool to the cache (or shut it down).
+
+    Outside a session — or for an uncacheable plan — this is the
+    historical per-call teardown.  A checkin collision (another plan
+    already returned a pool under the same key) shuts the incoming pool
+    down rather than leaking its workers.
+    """
+    if pool is None:
+        return
+    if key is None or not session_active():
+        pool.shutdown(wait=True)
+        return
+    _ensure_child_finalizer()
+    evicted = []
+    with _POOL_LOCK:
+        if key in _POOL_CACHE:
+            evicted.append(pool)
+        else:
+            _POOL_CACHE[key] = pool
+            cap = _pool_cache_cap()
+            while len(_POOL_CACHE) > cap:
+                _, stale = _POOL_CACHE.popitem(last=False)
+                evicted.append(stale)
+    for stale in evicted:
+        _kill_pool(stale)
+
+
+def _spawn_pool(plan: "ExecutionPlan", workers: int,
+                lease: int) -> ProcessPoolExecutor:
+    """Spawn (and spawn-log) one worker pool for ``plan``.
+
+    The single funnel for pool creation: the ``pool_spawn_fail`` fault
+    point and the ``REDS_SPAWN_LOG`` instrumentation both live here, so
+    a warm-session cache hit neither logs a spawn nor rolls the fault
+    dice — exactly the observable the spawn-count tests pin.
+    """
+    faults.maybe_inject("pool_spawn_fail", f"w{workers}-l{lease}")
+    _log_spawn(workers, lease)
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(plan.warmup, plan.test_refs, plan.context, lease),
+    )
+    with _POOL_LOCK:
+        _POOL_STATS["spawned"] += 1
+    return pool
+
+
+def pool_stats() -> dict[str, int]:
+    """Spawn/reuse counters plus the current cache size."""
+    with _POOL_LOCK:
+        return {**_POOL_STATS, "cached": len(_POOL_CACHE)}
+
+
+def reset_pool_stats() -> None:
+    """Zero the spawn/reuse counters (cache contents are untouched)."""
+    with _POOL_LOCK:
+        _POOL_STATS["spawned"] = 0
+        _POOL_STATS["reused"] = 0
+
+
+@atexit.register
+def close_pools() -> int:
+    """Shut down every cached pool; returns how many were closed.
+
+    In the session-owning process this drains gracefully
+    (``shutdown(wait=True)``) so workers exit through their own
+    finalizers.  In a forked pool *worker*, cached nested pools are
+    torn down with :func:`_kill_pool` instead: a cached pool is idle by
+    construction (checkin happens only after every future drained), and
+    sentinel-based draining from a worker's exit finalizer can deadlock
+    — the call queue's feeder machinery is unreliable in a forked,
+    half-exited interpreter, leaving a grandchild blocked on a read
+    that never completes while ``multiprocessing.util._exit_function``
+    waits to join it.  Killing idle grandworkers loses nothing.
+    """
+    import multiprocessing
+
+    with _POOL_LOCK:
+        pools = list(_POOL_CACHE.values())
+        _POOL_CACHE.clear()
+    graceful = multiprocessing.parent_process() is None
+    for pool in pools:
+        if not graceful:
+            _kill_pool(pool)
+            continue
+        try:
+            pool.shutdown(wait=True)
+        except Exception:  # pragma: no cover - defensive
+            _kill_pool(pool)
+    return len(pools)
+
+
+# ----------------------------------------------------------------------
 # Executors
 # ----------------------------------------------------------------------
 
@@ -755,34 +956,56 @@ class ProcessExecutor:
                 plan, on_result, policy=policy, failures=failures)
         workers = min(jobs, len(plan.tasks))
         lease = max(1, jobs // workers)
-        _log_spawn(workers, lease)
         if (policy is not None or failures is not None
                 or task_timeout is not None or faults.enabled()):
             return self._run_tolerant(plan, on_result, policy, failures,
                                       task_timeout, jobs, workers, lease)
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(plan.warmup, plan.test_refs, plan.context, lease),
-            )
-        except Exception as exc:
-            logger.warning("process pool spawn failed (%s); degrading to "
-                           "serial execution", exc)
-            return SerialExecutor(budget=max(jobs, 1)).run(plan, on_result)
-        with pool:
+        key = _pool_key(plan, workers, lease)
+        pool = _checkout_pool(key)
+        reused = pool is not None
+        if pool is None:
+            try:
+                pool = _spawn_pool(plan, workers, lease)
+            except Exception as exc:
+                logger.warning("process pool spawn failed (%s); degrading to "
+                               "serial execution", exc)
+                return SerialExecutor(budget=max(jobs, 1)).run(plan, on_result)
+        while True:
             futures = [pool.submit(plan.func, **task) for task in plan.tasks]
             try:
-                if on_result is not None:
-                    index_of = {future: i for i, future in enumerate(futures)}
-                    for future in as_completed(futures):
-                        on_result(index_of[future], future.result())
-                return [future.result() for future in futures]
+                out = [None] * len(futures)
+                index_of = {future: i for i, future in enumerate(futures)}
+                for future in as_completed(futures):
+                    i = index_of[future]
+                    out[i] = future.result()
+                    if on_result is not None:
+                        on_result(i, out[i])
+            except BrokenProcessPool:
+                _kill_pool(pool)
+                if not reused:
+                    raise
+                # A cached pool can have died between plans (a worker
+                # OOM-killed, the machine reaping idle processes).  The
+                # entry was popped at checkout, so respawn once and
+                # re-run: tasks are pure and ``on_result`` callbacks are
+                # idempotent store puts, so a full re-run is safe.
+                logger.warning("cached worker pool was broken; respawning")
+                reused = False
+                try:
+                    pool = _spawn_pool(plan, workers, lease)
+                except Exception as exc:
+                    logger.warning("process pool spawn failed (%s); degrading "
+                                   "to serial execution", exc)
+                    return SerialExecutor(budget=max(jobs, 1)).run(
+                        plan, on_result)
+                continue
             except BaseException:
                 # Fail fast: don't let a long grid grind to completion
                 # behind an already-doomed run.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+            _checkin_pool(key, pool)
+            return out
 
     def _run_tolerant(self, plan: ExecutionPlan,
                       on_result: Callable[[int, object], None] | None,
@@ -813,6 +1036,10 @@ class ProcessExecutor:
         delayed: list[tuple[float, int]] = []
         poisonings = 0
         pool = None
+        # Warm-session checkout is exclusive: a poisoned pool was already
+        # popped from the cache, so it can never be handed to a later
+        # plan — only a pool that drains its plan healthy is returned.
+        cache_key = _pool_key(plan, workers, lease)
         futures: dict[object, int] = {}
         hb_dir = Path(tempfile.mkdtemp(prefix="reds-hb-"))
         token_bases = [_token_base(plan, j) for j in range(n)]
@@ -884,19 +1111,16 @@ class ProcessExecutor:
                     delayed[:] = [(t, j) for t, j in delayed if t > now]
                     ready.extend(ripe)
                 if pool is None and ready:
-                    try:
-                        pool = ProcessPoolExecutor(
-                            max_workers=workers,
-                            initializer=_init_worker,
-                            initargs=(plan.warmup, plan.test_refs,
-                                      plan.context, lease),
-                        )
-                    except Exception as exc:
-                        logger.warning(
-                            "process pool spawn failed (%s); degrading the "
-                            "remaining tasks to serial execution", exc)
-                        poisonings = 2
-                        continue
+                    pool = _checkout_pool(cache_key)
+                    if pool is None:
+                        try:
+                            pool = _spawn_pool(plan, workers, lease)
+                        except Exception as exc:
+                            logger.warning(
+                                "process pool spawn failed (%s); degrading "
+                                "the remaining tasks to serial execution", exc)
+                            poisonings = 2
+                            continue
                 submit_failed = False
                 while ready:
                     j = ready.popleft()
@@ -967,6 +1191,13 @@ class ProcessExecutor:
                         poison("pool killed to recover hung worker(s)",
                                list(futures.values()), charged=hung)
                         continue
+            if pool is not None:
+                # The plan drained with this pool healthy: hand it back
+                # to the warm-session cache instead of killing it.  Any
+                # broken pool was already killed inside ``poison()`` with
+                # ``pool`` reset to None, so it cannot reach here.
+                _checkin_pool(cache_key, pool)
+                pool = None
             return [results[j] for j in range(n)]
         finally:
             _kill_pool(pool)

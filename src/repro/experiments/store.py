@@ -89,15 +89,17 @@ STORE_FORMAT = 2
 
 #: Modules (relative to the ``repro`` package root) whose source does
 #: not influence experiment records: presentation, CLI plumbing, this
-#: store itself, and fault injection (whose contract is precisely that
-#: it never changes records).  Everything else is part of the
-#: fingerprint.
+#: store itself, fault injection (whose contract is precisely that
+#: it never changes records) and the warm-session layer (whose contract
+#: is that warm state is a cache, never a semantic change).  Everything
+#: else is part of the fingerprint.
 FINGERPRINT_EXCLUDE = frozenset({
     "cli.py",
     "__main__.py",
     "experiments/store.py",
     "experiments/faults.py",
     "experiments/report.py",
+    "experiments/session.py",
     "subgroup/describe.py",
 })
 

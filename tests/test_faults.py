@@ -397,6 +397,61 @@ class TestPoolFaultTolerance:
             [v * 2 for v in range(5)]
 
 
+class TestWarmSessionChaos:
+    """Fault tolerance composed with the warm-session pool cache.
+
+    A crash must evict the poisoned pool (checkout is exclusive, a
+    broken pool is never checked back in), the retried grid must stay
+    bit-identical to the fault-free baseline, and later warm calls must
+    be served by the healthy respawned pool — never a stale cached one.
+    """
+
+    def test_crashed_pool_evicted_respawned_results_identical(
+            self, tmp_path):
+        from repro.experiments.parallel import pool_stats, reset_pool_stats
+        from repro.experiments.session import Session
+
+        calm = [{"value": v, "markerdir": str(tmp_path), "victims": ()}
+                for v in range(8)]
+        baseline = execute(_kill_once, calm, jobs=2, retries=2)
+        tasks = [{"value": v, "markerdir": str(tmp_path), "victims": (3,)}
+                 for v in range(8)]
+        with Session(jobs=2):
+            reset_pool_stats()
+            out = execute(_kill_once, tasks, jobs=2, retries=2)
+            # The SIGKILL poisoned the first pool; the dispatcher must
+            # have evicted it and spawned a replacement mid-grid.
+            mid = pool_stats()
+            # A follow-up warm call reuses the healthy replacement (the
+            # markers exist now, so nothing kills) — and must not spawn.
+            again = execute(_kill_once, tasks, jobs=2, retries=2)
+            after = pool_stats()
+        assert out == baseline
+        assert again == baseline
+        assert (tmp_path / "killed-3").exists()
+        assert mid["spawned"] >= 2
+        assert after["spawned"] == mid["spawned"]
+        assert after["reused"] >= mid["reused"] + 1
+        # Session close drains the cache: no warm pool outlives it.
+        assert pool_stats()["cached"] == 0
+
+    def test_chaos_grid_inside_session_matches_baseline(self, monkeypatch):
+        from repro.experiments.parallel import pool_stats
+        from repro.experiments.session import Session
+
+        baseline = run_grid()
+        before = _shm_segments()
+        monkeypatch.setenv(
+            "REDS_FAULT_PLAN",
+            "seed=11,worker_crash=0.25,task_hang=0.25,hang_s=0.05")
+        with Session(jobs=2):
+            records = run_grid(jobs=2, retries=6)
+        monkeypatch.delenv("REDS_FAULT_PLAN")
+        assert_records_equal(baseline, records)
+        assert pool_stats()["cached"] == 0
+        assert _shm_segments() - before == set()
+
+
 # ----------------------------------------------------------------------
 # Store robustness: envelopes, torn writes, leases
 # ----------------------------------------------------------------------
